@@ -1,0 +1,39 @@
+// Fig. 13: secure-inference speedups of ParSecureML over SecureML (forward
+// pass only). Paper: 31.7x average; linear regression and SVM share the
+// w^T x + b form, so the paper reports linear only.
+#include "bench_util.hpp"
+
+using namespace psml;
+using namespace psml::bench;
+
+int main() {
+  header("Fig. 13", "inference (forward-pass) speedups vs SecureML");
+  std::printf("%-10s %-10s %9s %9s\n", "dataset", "model", "online",
+              "overall");
+
+  const std::vector<ml::ModelKind> kinds = {
+      ml::ModelKind::kCnn, ml::ModelKind::kMlp, ml::ModelKind::kLinear,
+      ml::ModelKind::kLogistic, ml::ModelKind::kRnn};
+
+  double sum_online = 0;
+  int count = 0;
+  for (const auto dataset : all_datasets()) {
+    for (const auto model : kinds) {
+      if (!valid_combo(model, dataset)) continue;
+      auto cfg = default_config(model, dataset, parsecureml::Mode::kSecureML);
+      const auto base = parsecureml::run_inference(cfg);
+      cfg.mode = parsecureml::Mode::kParSecureML;
+      const auto fast = parsecureml::run_inference(cfg);
+      const double sp_online = base.online_sec / fast.online_sec;
+      const double sp_total = base.total_sec / fast.total_sec;
+      sum_online += sp_online;
+      ++count;
+      std::printf("%-10s %-10s %8.2fx %8.2fx\n",
+                  data::to_string(dataset).c_str(),
+                  ml::to_string(model).c_str(), sp_online, sp_total);
+    }
+  }
+  std::printf("\naverage online inference speedup: %.2fx (paper 31.7x)\n",
+              sum_online / count);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 14: benefit of the CPU optimizations (thread-local MT19937 parallel
+// RNG + cache-line-chunked parallel add/sub, Sec. 5.1). Paper: 10.71%
+// average improvement; larger images benefit more.
+#include "bench_util.hpp"
+
+using namespace psml;
+using namespace psml::bench;
+
+int main() {
+  header("Fig. 14", "CPU-parallelism optimization benefit");
+  std::printf("%-10s %-10s %12s %12s %10s\n", "dataset", "model",
+              "no-cpu-par(s)", "cpu-par(s)", "benefit");
+
+  const std::vector<data::DatasetKind> datasets = {
+      data::DatasetKind::kMnist, data::DatasetKind::kVggFace2,
+      data::DatasetKind::kCifar10};
+  const std::vector<ml::ModelKind> models = {
+      ml::ModelKind::kMlp, ml::ModelKind::kLinear, ml::ModelKind::kLogistic};
+
+  double sum = 0;
+  int count = 0;
+  for (const auto dataset : datasets) {
+    for (const auto model : models) {
+      auto cfg = default_config(model, dataset, parsecureml::Mode::kCustom);
+      cfg.custom_opts = mpc::PartyOptions::parsecureml();
+      cfg.custom_opts.cpu_parallel = false;
+      const auto off = parsecureml::run_training(cfg);
+      cfg.custom_opts.cpu_parallel = true;
+      const auto on = parsecureml::run_training(cfg);
+      const double benefit = (off.total_sec - on.total_sec) / off.total_sec;
+      sum += benefit;
+      ++count;
+      std::printf("%-10s %-10s %12.3f %12.3f %9.1f%%\n",
+                  data::to_string(dataset).c_str(),
+                  ml::to_string(model).c_str(), off.total_sec, on.total_sec,
+                  benefit * 100.0);
+    }
+  }
+  std::printf("\naverage benefit: %.1f%% (paper 10.71%%; larger images gain "
+              "more)\n",
+              sum / count * 100.0);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 16: communication reduction from compressed transmission (delta-CSR
+// on the E/F exchanges). Paper: 22.9% average reduction. Includes the
+// threshold ablation from DESIGN.md §5.
+#include "bench_util.hpp"
+
+using namespace psml;
+using namespace psml::bench;
+
+int main() {
+  header("Fig. 16", "inter-server communication reduction from compression");
+  std::printf("%-10s %-10s %12s %12s %10s %10s\n", "dataset", "model",
+              "plain(MiB)", "comp(MiB)", "saved", "csr-msgs");
+
+  double sum = 0;
+  int count = 0;
+  for (const auto dataset :
+       {data::DatasetKind::kMnist, data::DatasetKind::kSynthetic}) {
+    for (const auto model :
+         {ml::ModelKind::kMlp, ml::ModelKind::kLogistic,
+          ml::ModelKind::kLinear, ml::ModelKind::kSvm}) {
+      auto cfg = default_config(model, dataset, parsecureml::Mode::kCustom);
+      cfg.epochs = 4;  // deltas need epochs to pay off
+      cfg.custom_opts = mpc::PartyOptions::parsecureml();
+      cfg.custom_opts.use_gpu = false;  // comms-focused run
+      cfg.custom_opts.adaptive = false;
+      cfg.custom_opts.use_compression = false;
+      const auto off = parsecureml::run_training(cfg);
+      cfg.custom_opts.use_compression = true;
+      const auto on = parsecureml::run_training(cfg);
+
+      const double mb_off =
+          static_cast<double>(off.server_to_server_bytes) / (1 << 20);
+      const double mb_on =
+          static_cast<double>(on.server_to_server_bytes) / (1 << 20);
+      const double saved = (mb_off - mb_on) / mb_off;
+      sum += saved;
+      ++count;
+      std::printf("%-10s %-10s %12.2f %12.2f %9.1f%% %10llu\n",
+                  data::to_string(dataset).c_str(),
+                  ml::to_string(model).c_str(), mb_off, mb_on, saved * 100.0,
+                  static_cast<unsigned long long>(
+                      on.compression.compressed_messages));
+    }
+  }
+  std::printf("\naverage communication saved: %.1f%% (paper 22.9%%)\n",
+              sum / count * 100.0);
+
+  // Threshold ablation: how much of the traffic compresses as the sparsity
+  // threshold moves (75% is the paper default).
+  std::printf("\n-- sparsity threshold ablation (MLP/MNIST) --\n");
+  std::printf("%-10s %12s %12s\n", "threshold", "comp(MiB)", "csr-msgs");
+  for (const double th : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    auto cfg = default_config(ml::ModelKind::kMlp, data::DatasetKind::kMnist,
+                              parsecureml::Mode::kCustom);
+    cfg.epochs = 4;
+    cfg.custom_opts = mpc::PartyOptions::parsecureml();
+    cfg.custom_opts.use_gpu = false;
+    cfg.custom_opts.adaptive = false;
+    cfg.custom_opts.compression_threshold = th;
+    const auto r = parsecureml::run_training(cfg);
+    std::printf("%-10.2f %12.2f %12llu\n", th,
+                static_cast<double>(r.server_to_server_bytes) / (1 << 20),
+                static_cast<unsigned long long>(
+                    r.compression.compressed_messages));
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 17: influence of workload size — ParSecureML-vs-SecureML speedup as
+// the SYNTHETIC workload grows. Paper shape: speedup increases with workload
+// size; small workloads belong on the CPU (the adaptive dispatcher's
+// crossover, Sec. 7.7).
+#include "bench_util.hpp"
+#include "profile/adaptive.hpp"
+
+using namespace psml;
+using namespace psml::bench;
+
+int main() {
+  header("Fig. 17", "speedup vs workload size (SYNTHETIC)");
+  std::printf("%-12s %12s %12s %10s\n", "samples", "secureml(s)",
+              "parsecure(s)", "speedup");
+
+  for (const std::size_t samples : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    auto cfg = default_config(ml::ModelKind::kMlp,
+                              data::DatasetKind::kSynthetic,
+                              parsecureml::Mode::kSecureML);
+    cfg.samples = scaled(samples);
+    cfg.batch = cfg.samples;
+    const auto base = parsecureml::run_training(cfg);
+    cfg.mode = parsecureml::Mode::kParSecureML;
+    const auto fast = parsecureml::run_training(cfg);
+    std::printf("%-12zu %12.3f %12.3f %9.2fx\n", cfg.samples, base.total_sec,
+                fast.total_sec, base.total_sec / fast.total_sec);
+  }
+
+  // The adaptive dispatcher's view of the same phenomenon: estimated CPU vs
+  // GPU cost per GEMM size, and where the crossover falls.
+  std::printf("\n-- adaptive dispatcher cost model (calibrated) --\n");
+  auto& dispatch = profile::AdaptiveDispatch::global();
+  std::printf("%-8s %14s %14s %8s\n", "n", "est-cpu(s)", "est-gpu(s)",
+              "choice");
+  for (std::size_t n = 16; n <= 2048; n *= 2) {
+    const auto d = dispatch.decide(n, n, n);
+    std::printf("%-8zu %14.6f %14.6f %8s\n", n, d.est_cpu_sec, d.est_gpu_sec,
+                d.use_gpu ? "GPU" : "CPU");
+  }
+  std::printf("\npaper shape: performance improvement grows with workload "
+              "size; small workloads stay on the CPU\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark): GEMM kernel tiers, Tensor-Core path,
+// RNG engines, CSR codec, channel throughput.
+#include <benchmark/benchmark.h>
+
+#include "net/local_channel.hpp"
+#include "net/serialize.hpp"
+#include "rng/philox.hpp"
+#include "rng/rng.hpp"
+#include "sgpu/ops.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace psml;
+
+MatrixF rand_mat(std::size_t r, std::size_t c, std::uint64_t seed) {
+  MatrixF m(r, c);
+  rng::fill_uniform_par(m, -1.0f, 1.0f, seed);
+  return m;
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MatrixF a = rand_mat(n, n, 1), b = rand_mat(n, n, 2);
+  MatrixF c(n, n);
+  for (auto _ : state) {
+    tensor::gemm_naive(1.0f, a, tensor::Trans::kNo, b, tensor::Trans::kNo,
+                       0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MatrixF a = rand_mat(n, n, 1), b = rand_mat(n, n, 2);
+  MatrixF c(n, n);
+  for (auto _ : state) {
+    tensor::gemm_blocked(1.0f, a, tensor::Trans::kNo, b, tensor::Trans::kNo,
+                         0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MatrixF a = rand_mat(n, n, 1), b = rand_mat(n, n, 2);
+  MatrixF c(n, n);
+  for (auto _ : state) {
+    tensor::gemm_parallel(1.0f, a, tensor::Trans::kNo, b, tensor::Trans::kNo,
+                          0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmParallel)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_DeviceGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MatrixF a = rand_mat(n, n, 1), b = rand_mat(n, n, 2);
+  for (auto _ : state) {
+    auto c = sgpu::device_matmul(a, b, state.range(1) != 0);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_DeviceGemm)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+void BM_RngMt19937Serial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MatrixF m(n, n);
+  for (auto _ : state) {
+    rng::fill_uniform(m, -1.0f, 1.0f);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_RngMt19937Serial)->Arg(256)->Arg(1024);
+
+void BM_RngMt19937Parallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MatrixF m(n, n);
+  for (auto _ : state) {
+    rng::fill_uniform_par(m, -1.0f, 1.0f, 42);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_RngMt19937Parallel)->Arg(256)->Arg(1024);
+
+void BM_RngPhilox(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MatrixF m(n, n);
+  for (auto _ : state) {
+    rng::philox_fill_uniform_par(m, -1.0f, 1.0f, 42);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_RngPhilox)->Arg(256)->Arg(1024);
+
+void BM_CsrEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  MatrixF m = rand_mat(n, n, 3);
+  MatrixF mask(n, n);
+  rng::fill_uniform_par(mask, 0.0f, 1.0f, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (mask.data()[i] > density) m.data()[i] = 0.0f;
+  }
+  for (auto _ : state) {
+    auto csr = sparse::Csr::from_dense(m);
+    auto bytes = csr.serialize();
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * m.bytes());
+}
+BENCHMARK(BM_CsrEncode)->Args({512, 5})->Args({512, 25})->Args({512, 75});
+
+void BM_LocalChannelThroughput(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  auto pair = net::LocalChannel::make_pair();
+  std::vector<std::uint8_t> payload(bytes, 7);
+  for (auto _ : state) {
+    pair.a->send(1, payload);
+    auto msg = pair.b->recv(1);
+    benchmark::DoNotOptimize(msg.payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_LocalChannelThroughput)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_Im2col(benchmark::State& state) {
+  const auto hw = static_cast<std::size_t>(state.range(0));
+  tensor::ConvShape s;
+  s.in_h = hw;
+  s.in_w = hw;
+  s.kernel = 5;
+  s.out_c = 8;
+  const MatrixF x = rand_mat(4, hw * hw, 5);
+  for (auto _ : state) {
+    auto p = tensor::im2col(x, s);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(28)->Arg(64);
+
+}  // namespace

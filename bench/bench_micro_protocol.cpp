@@ -1,0 +1,178 @@
+// Protocol microbenchmarks (google-benchmark): secure matmul under each
+// execution mode (the Eq. 6 vs Eq. 8 ablation, pipeline on/off, ring64 mode)
+// and triplet generation.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "mpc/activation.hpp"
+#include "mpc/ring_protocol.hpp"
+#include "mpc/secure_matmul.hpp"
+#include "mpc/share.hpp"
+#include "net/local_channel.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using namespace psml;
+
+MatrixF rand_mat(std::size_t r, std::size_t c, std::uint64_t seed) {
+  MatrixF m(r, c);
+  rng::fill_uniform_par(m, -1.0f, 1.0f, seed);
+  return m;
+}
+
+// Runs one secure matmul between two fresh parties; returns via benchmark
+// timing. Options configure the execution path being measured.
+void bench_secure_matmul(benchmark::State& state, mpc::PartyOptions opts) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MatrixF a = rand_mat(n, n, 1);
+  const MatrixF b = rand_mat(n, n, 2);
+  sgpu::Device* dev = opts.use_gpu ? &sgpu::Device::global() : nullptr;
+  mpc::TripletDealer dealer(dev, {opts.use_gpu, false, 42});
+  auto [t0, t1] = dealer.make_matmul(n, n, n);
+  const auto sa = mpc::share_float(a, 3);
+  const auto sb = mpc::share_float(b, 4);
+
+  auto chans = net::LocalChannel::make_pair();
+  mpc::PartyContext ctx0(0, chans.a, dev, opts);
+  mpc::PartyContext ctx1(1, chans.b, dev, opts);
+
+  for (auto _ : state) {
+    MatrixF c1;
+    std::thread peer(
+        [&] { c1 = mpc::secure_matmul(ctx1, sa.s1, sb.s1, t1); });
+    MatrixF c0 = mpc::secure_matmul(ctx0, sa.s0, sb.s0, t0);
+    peer.join();
+    benchmark::DoNotOptimize(c0.data());
+    benchmark::DoNotOptimize(c1.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void BM_SecureMatmul_Baseline(benchmark::State& state) {
+  bench_secure_matmul(state, mpc::PartyOptions::secureml_baseline());
+}
+BENCHMARK(BM_SecureMatmul_Baseline)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SecureMatmul_Eq6Parallel(benchmark::State& state) {
+  auto opts = mpc::PartyOptions::parsecureml();
+  opts.use_gpu = false;
+  opts.adaptive = false;
+  opts.fuse_eq8 = false;
+  bench_secure_matmul(state, opts);
+}
+BENCHMARK(BM_SecureMatmul_Eq6Parallel)->Arg(128)->Arg(256);
+
+void BM_SecureMatmul_Eq8Cpu(benchmark::State& state) {
+  auto opts = mpc::PartyOptions::parsecureml();
+  opts.use_gpu = false;
+  opts.adaptive = false;
+  bench_secure_matmul(state, opts);
+}
+BENCHMARK(BM_SecureMatmul_Eq8Cpu)->Arg(128)->Arg(256);
+
+void BM_SecureMatmul_GpuNoPipeline(benchmark::State& state) {
+  auto opts = mpc::PartyOptions::parsecureml();
+  opts.adaptive = false;
+  opts.use_pipeline = false;
+  bench_secure_matmul(state, opts);
+}
+BENCHMARK(BM_SecureMatmul_GpuNoPipeline)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SecureMatmul_GpuPipelined(benchmark::State& state) {
+  auto opts = mpc::PartyOptions::parsecureml();
+  opts.adaptive = false;
+  bench_secure_matmul(state, opts);
+}
+BENCHMARK(BM_SecureMatmul_GpuPipelined)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SecureMatmulRing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MatrixU64 a = mpc::encode_fixed(rand_mat(n, n, 5));
+  const MatrixU64 b = mpc::encode_fixed(rand_mat(n, n, 6));
+  auto [t0, t1] = mpc::make_ring_matmul_triplet(n, n, n, 7);
+  const auto sa = mpc::share_ring(a, 8);
+  const auto sb = mpc::share_ring(b, 9);
+  auto opts = mpc::PartyOptions::secureml_baseline();
+  auto chans = net::LocalChannel::make_pair();
+  mpc::PartyContext ctx0(0, chans.a, nullptr, opts);
+  mpc::PartyContext ctx1(1, chans.b, nullptr, opts);
+  for (auto _ : state) {
+    MatrixU64 c1;
+    std::thread peer(
+        [&] { c1 = mpc::secure_matmul_ring(ctx1, sa.s1, sb.s1, t1); });
+    MatrixU64 c0 = mpc::secure_matmul_ring(ctx0, sa.s0, sb.s0, t0);
+    peer.join();
+    benchmark::DoNotOptimize(c0.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_SecureMatmulRing)->Arg(64)->Arg(128);
+
+void BM_TripletGenCpu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mpc::TripletDealer dealer(nullptr, {false, false, 10});
+  for (auto _ : state) {
+    auto pair = dealer.make_matmul(n, n, n);
+    benchmark::DoNotOptimize(pair.first.z.data());
+  }
+}
+BENCHMARK(BM_TripletGenCpu)->Arg(128)->Arg(256);
+
+void BM_SecureActivation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mpc::TripletDealer dealer(nullptr, {false, false, 12});
+  const MatrixF x = rand_mat(n, n, 13);
+  const auto sx = mpc::share_float(x, 14);
+  auto opts = mpc::PartyOptions::parsecureml();
+  opts.use_gpu = false;
+  opts.adaptive = false;
+  auto chans = net::LocalChannel::make_pair();
+  mpc::PartyContext ctx0(0, chans.a, nullptr, opts);
+  mpc::PartyContext ctx1(1, chans.b, nullptr, opts);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto [a0, a1] = dealer.make_activation(n, n);
+    state.ResumeTiming();
+    mpc::ActivationResult r1;
+    std::thread peer(
+        [&] { r1 = mpc::secure_activation(ctx1, sx.s1, a1); });
+    mpc::ActivationResult r0 = mpc::secure_activation(ctx0, sx.s0, a0);
+    peer.join();
+    benchmark::DoNotOptimize(r0.value_share.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SecureActivation)->Arg(32)->Arg(128);
+
+void BM_RefreshShare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto opts = mpc::PartyOptions::secureml_baseline();
+  auto chans = net::LocalChannel::make_pair();
+  mpc::PartyContext ctx0(0, chans.a, nullptr, opts);
+  mpc::PartyContext ctx1(1, chans.b, nullptr, opts);
+  const MatrixF s0 = rand_mat(n, n, 15);
+  const MatrixF s1 = rand_mat(n, n, 16);
+  for (auto _ : state) {
+    MatrixF r1;
+    std::thread peer([&] { r1 = mpc::refresh_share(ctx1, s1); });
+    MatrixF r0 = mpc::refresh_share(ctx0, s0);
+    peer.join();
+    benchmark::DoNotOptimize(r0.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * sizeof(float));
+}
+BENCHMARK(BM_RefreshShare)->Arg(128)->Arg(512);
+
+void BM_TripletGenGpu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mpc::TripletDealer dealer(&sgpu::Device::global(), {true, false, 11});
+  for (auto _ : state) {
+    auto pair = dealer.make_matmul(n, n, n);
+    benchmark::DoNotOptimize(pair.first.z.data());
+  }
+}
+BENCHMARK(BM_TripletGenGpu)->Arg(128)->Arg(256)->Arg(512);
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Table 2: slowdown of SecureML and ParSecureML relative to *non-secure GPU*
+// machine learning. Paper averages: SecureML 249.34x, ParSecureML 10.98x —
+// ParSecureML closes most of the security gap; CNN pays the most; MNIST
+// (small images) pays the least.
+#include "bench_util.hpp"
+
+using namespace psml;
+using namespace psml::bench;
+
+int main() {
+  header("Table 2", "slowdown vs non-secure GPU ML");
+  std::printf("%-10s %-10s %10s %12s %14s\n", "dataset", "model", "gpu(s)",
+              "secureml(x)", "parsecureml(x)");
+
+  double sum_base = 0, sum_fast = 0;
+  int count = 0;
+  for (const auto dataset : all_datasets()) {
+    for (const auto model : all_models()) {
+      if (!valid_combo(model, dataset)) continue;
+      auto cfg = default_config(model, dataset, parsecureml::Mode::kPlainGpu);
+      const auto gpu = parsecureml::run_training(cfg);
+      cfg.mode = parsecureml::Mode::kSecureML;
+      const auto base = parsecureml::run_training(cfg);
+      cfg.mode = parsecureml::Mode::kParSecureML;
+      const auto fast = parsecureml::run_training(cfg);
+
+      const double sl_base = base.total_sec / gpu.online_sec;
+      const double sl_fast = fast.total_sec / gpu.online_sec;
+      sum_base += sl_base;
+      sum_fast += sl_fast;
+      ++count;
+      std::printf("%-10s %-10s %10.3f %11.1fx %13.1fx\n",
+                  data::to_string(dataset).c_str(),
+                  ml::to_string(model).c_str(), gpu.online_sec, sl_base,
+                  sl_fast);
+    }
+  }
+  std::printf("\naverages: SecureML %.1fx (paper 249.3x), ParSecureML %.1fx "
+              "(paper 11.0x)\n",
+              sum_base / count, sum_fast / count);
+  std::printf("shape check: ParSecureML slowdown << SecureML slowdown\n");
+  return 0;
+}

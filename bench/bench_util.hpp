@@ -1,0 +1,82 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench prints a header naming the paper artifact it regenerates, then
+// CSV-ish rows with a `paper=` reference column where the paper states a
+// number, so EXPERIMENTS.md can be filled by running the binary. Sizes are
+// scaled to this machine (see DESIGN.md §2); the PSML_BENCH_SCALE env var
+// multiplies sample counts for bigger runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "parsecureml/framework.hpp"
+
+namespace psml::bench {
+
+inline std::size_t scaled(std::size_t base) {
+  const double s = env_double("PSML_BENCH_SCALE", 1.0);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(base * s));
+}
+
+inline void header(const std::string& artifact, const std::string& what) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), what.c_str());
+  std::printf("(scaled reproduction; shapes comparable, absolute numbers "
+              "machine-dependent)\n");
+  std::printf("==========================================================\n");
+}
+
+inline const std::vector<ml::ModelKind>& all_models() {
+  static const std::vector<ml::ModelKind> kinds = {
+      ml::ModelKind::kCnn,    ml::ModelKind::kMlp,
+      ml::ModelKind::kLinear, ml::ModelKind::kLogistic,
+      ml::ModelKind::kSvm,    ml::ModelKind::kRnn};
+  return kinds;
+}
+
+inline const std::vector<data::DatasetKind>& all_datasets() {
+  static const std::vector<data::DatasetKind> kinds = {
+      data::DatasetKind::kVggFace2, data::DatasetKind::kNist,
+      data::DatasetKind::kSynthetic, data::DatasetKind::kMnist,
+      data::DatasetKind::kCifar10};
+  return kinds;
+}
+
+// The paper only evaluates RNN on SYNTHETIC (Sec. 7.1).
+inline bool valid_combo(ml::ModelKind model, data::DatasetKind dataset) {
+  if (model == ml::ModelKind::kRnn) {
+    return dataset == data::DatasetKind::kSynthetic;
+  }
+  return true;
+}
+
+// A small default workload: fast on a laptop-class box, big enough that the
+// GPU path wins on the heavy models.
+inline parsecureml::RunConfig default_config(ml::ModelKind model,
+                                             data::DatasetKind dataset,
+                                             parsecureml::Mode mode) {
+  parsecureml::RunConfig cfg;
+  cfg.model = model;
+  cfg.dataset = dataset;
+  cfg.mode = mode;
+  cfg.samples = scaled(48);
+  cfg.batch = cfg.samples;
+  cfg.epochs = 1;
+  cfg.lr = 0.2f;
+  cfg.evaluate = false;
+  cfg.seed = 20260705;
+  // CNN patch matrices explode on the big image sets; trim samples to keep
+  // the offline phase tractable on 2 cores.
+  if (model == ml::ModelKind::kCnn &&
+      (dataset == data::DatasetKind::kVggFace2 ||
+       dataset == data::DatasetKind::kNist)) {
+    cfg.samples = scaled(12);
+    cfg.batch = cfg.samples;
+  }
+  return cfg;
+}
+
+}  // namespace psml::bench

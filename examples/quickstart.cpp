@@ -1,0 +1,78 @@
+// Quickstart: train one model securely with ParSecureML and compare against
+// the SecureML baseline — the 60-second tour of the public API.
+//
+//   ./quickstart [model] [dataset] [epochs]
+//   model:   mlp | cnn | rnn | linear | logistic | svm   (default mlp)
+//   dataset: mnist | vggface2 | nist | cifar10 | synthetic (default mnist)
+#include <cstdio>
+#include <string>
+
+#include "parsecureml/framework.hpp"
+
+namespace psml_api = psml::parsecureml;
+
+namespace {
+
+psml::ml::ModelKind parse_model(const std::string& s) {
+  using psml::ml::ModelKind;
+  if (s == "cnn") return ModelKind::kCnn;
+  if (s == "rnn") return ModelKind::kRnn;
+  if (s == "linear") return ModelKind::kLinear;
+  if (s == "logistic") return ModelKind::kLogistic;
+  if (s == "svm") return ModelKind::kSvm;
+  return ModelKind::kMlp;
+}
+
+psml::data::DatasetKind parse_dataset(const std::string& s) {
+  using psml::data::DatasetKind;
+  if (s == "vggface2") return DatasetKind::kVggFace2;
+  if (s == "nist") return DatasetKind::kNist;
+  if (s == "cifar10") return DatasetKind::kCifar10;
+  if (s == "synthetic") return DatasetKind::kSynthetic;
+  return DatasetKind::kMnist;
+}
+
+void report(const char* label, const psml_api::RunResult& r) {
+  std::printf("%-14s offline %.3fs (gen %.3f + tx %.3f) | online %.3fs | "
+              "total %.3fs | acc %.3f | s2s traffic %.2f MiB\n",
+              label, r.offline_generate_sec + r.offline_transmit_sec,
+              r.offline_generate_sec, r.offline_transmit_sec, r.online_sec,
+              r.total_sec, r.accuracy,
+              static_cast<double>(r.server_to_server_bytes) / (1 << 20));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psml_api::RunConfig cfg;
+  cfg.model = parse_model(argc > 1 ? argv[1] : "mlp");
+  cfg.dataset = parse_dataset(argc > 2 ? argv[2] : "mnist");
+  cfg.epochs = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 6;
+  cfg.samples = 128;
+  cfg.batch = 64;
+  cfg.lr = 0.05f;
+  if (cfg.model == psml::ml::ModelKind::kRnn) {
+    cfg.dataset = psml::data::DatasetKind::kSynthetic;
+  }
+
+  std::printf("ParSecureML quickstart: %s on %s, %zu epochs, batch %zu\n\n",
+              psml::ml::to_string(cfg.model).c_str(),
+              psml::data::to_string(cfg.dataset).c_str(), cfg.epochs,
+              cfg.batch);
+
+  cfg.mode = psml_api::Mode::kParSecureML;
+  const auto par = psml_api::run_training(cfg);
+  report("ParSecureML", par);
+
+  cfg.mode = psml_api::Mode::kSecureML;
+  const auto base = psml_api::run_training(cfg);
+  report("SecureML", base);
+
+  if (par.online_sec > 0) {
+    std::printf("\nonline speedup over SecureML: %.2fx\n",
+                base.online_sec / par.online_sec);
+  }
+  std::printf("compression saved %.1f%% of reconstruct-phase bytes\n",
+              par.compression.savings() * 100.0);
+  return 0;
+}

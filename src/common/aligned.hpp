@@ -1,0 +1,48 @@
+// Cache-line/SIMD aligned storage used by the tensor and device-memory
+// subsystems. Alignment is 64 bytes so a row start never straddles a cache
+// line and the compiler can emit aligned vector loads.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+namespace psml {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+// A cache line holds 16 FP32 values; the CPU-parallel matrix kernels chunk
+// work in multiples of this to avoid two threads writing one line (Sec. 5.1
+// of the paper).
+inline constexpr std::size_t kFloatsPerCacheLine = kCacheLineBytes / sizeof(float);
+
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    std::size_t bytes = n * sizeof(T);
+    // aligned_alloc requires size to be a multiple of alignment.
+    bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    if (bytes == 0) bytes = kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace psml

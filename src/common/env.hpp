@@ -1,0 +1,19 @@
+// Environment-variable helpers for runtime knobs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace psml {
+
+// Returns the value of `name` parsed as size_t, or `fallback` when unset or
+// unparsable.
+std::size_t env_size_t(const char* name, std::size_t fallback);
+
+// Returns the value of `name` parsed as double, or `fallback`.
+double env_double(const char* name, double fallback);
+
+// Returns the value of `name`, or `fallback`.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace psml

@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace psml {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* e = std::getenv("PSML_LOG");
+  if (e == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(e, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(e, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(e, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(e, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(e, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(e, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(level_from_env())};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[psml %s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace psml

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Off by default above WARN; controlled by the
+// PSML_LOG environment variable (trace|debug|info|warn|error) or
+// set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace psml {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define PSML_LOG(level, ...)                                       \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::psml::log_level())) {                   \
+      std::ostringstream psml_log_os_;                             \
+      psml_log_os_ << __VA_ARGS__;                                 \
+      ::psml::detail::log_emit(level, psml_log_os_.str());         \
+    }                                                              \
+  } while (0)
+
+#define PSML_TRACE(...) PSML_LOG(::psml::LogLevel::kTrace, __VA_ARGS__)
+#define PSML_DEBUG(...) PSML_LOG(::psml::LogLevel::kDebug, __VA_ARGS__)
+#define PSML_INFO(...) PSML_LOG(::psml::LogLevel::kInfo, __VA_ARGS__)
+#define PSML_WARN(...) PSML_LOG(::psml::LogLevel::kWarn, __VA_ARGS__)
+#define PSML_ERROR(...) PSML_LOG(::psml::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace psml

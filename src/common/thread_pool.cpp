@@ -1,0 +1,101 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace psml {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  // One chunk per worker plus the caller; more would only add scheduling
+  // overhead for memory-bound loops.
+  const std::size_t chunks = std::min(max_chunks, size() + 1);
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  // Round the per-chunk size up to a multiple of `grain` so chunk borders sit
+  // on grain (cache line) boundaries.
+  std::size_t per = (n + chunks - 1) / chunks;
+  per = (per + grain - 1) / grain * grain;
+
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto run_chunks = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(per);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(lo + per, end);
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks - 1);
+  for (std::size_t i = 0; i + 1 < chunks; ++i) futs.push_back(submit(run_chunks));
+  run_chunks();
+  for (auto& f : futs) f.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(env_size_t("PSML_THREADS", 0));
+  return pool;
+}
+
+}  // namespace psml

@@ -1,0 +1,78 @@
+// Work-sharing thread pool + parallel_for.
+//
+// The pool backs every CPU-parallel kernel in the library (matrix add/sub,
+// random fills, host-side GEMM) and the simulated-GPU device workers. Chunk
+// granularity for float work defaults to one cache line (16 floats) so two
+// threads never write the same line — the optimization Sec. 5.1 of the paper
+// calls out.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/aligned.hpp"
+
+namespace psml {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue an arbitrary task; returns a future for its completion.
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool is shut down");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Splits [begin, end) into contiguous chunks of at least `grain` elements,
+  // runs body(chunk_begin, chunk_end) on pool threads + the calling thread,
+  // and blocks until all chunks are done. Exceptions from the body are
+  // propagated (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = kFloatsPerCacheLine);
+
+  // Process-wide pool, lazily constructed. Size can be pinned via the
+  // PSML_THREADS environment variable before first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// Convenience free function using the global pool.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t grain = kFloatsPerCacheLine) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace psml

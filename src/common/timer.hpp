@@ -1,0 +1,72 @@
+// Wall-clock timers used by the profiler and the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace psml {
+
+// Monotonic wall timer with nanosecond resolution.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  // Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+// Accumulating stopwatch: sums disjoint timed intervals.
+class Stopwatch {
+ public:
+  void start() {
+    running_ = true;
+    t_.reset();
+  }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      running_ = false;
+    }
+  }
+  void add(double seconds) { total_ += seconds; }
+  double seconds() const { return total_ + (running_ ? t_.seconds() : 0.0); }
+  void reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+// RAII scope timer adding to a Stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch& sw) : sw_(sw) { sw_.start(); }
+  ~ScopedTimer() { sw_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch& sw_;
+};
+
+}  // namespace psml

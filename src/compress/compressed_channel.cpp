@@ -1,0 +1,106 @@
+#include "compress/compressed_channel.hpp"
+
+#include <cstring>
+
+#include "sparse/csr.hpp"
+#include "tensor/ops.hpp"
+
+namespace psml::compress {
+
+namespace {
+
+enum SubKind : std::uint8_t { kDense = 0, kCsrDelta = 1 };
+
+std::vector<std::uint8_t> with_prefix(SubKind sk,
+                                      std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> out(body.size() + 1);
+  out[0] = static_cast<std::uint8_t>(sk);
+  std::memcpy(out.data() + 1, body.data(), body.size());
+  return out;
+}
+
+}  // namespace
+
+Endpoint::Endpoint(net::Channel& channel, Config cfg)
+    : channel_(channel), cfg_(cfg) {}
+
+void Endpoint::send(net::Tag tag, std::uint64_t key, const MatrixF& m) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  stats_.messages += 1;
+  const std::size_t dense_payload = m.bytes() + 12 /*matrix header*/ + 1;
+  stats_.dense_bytes += dense_payload;
+
+  if (cfg_.enabled) {
+    auto it = send_baseline_.find(key);
+    if (it != send_baseline_.end() && it->second.same_shape(m)) {
+      MatrixF delta;
+      tensor::sub(m, it->second, delta);
+      if (tensor::zero_fraction(delta) >= cfg_.sparsity_threshold) {
+        const auto csr = sparse::Csr::from_dense(delta);
+        // CSR only pays off if it is actually smaller than dense.
+        if (csr.wire_bytes() + 13 < dense_payload) {
+          auto buf = with_prefix(kCsrDelta, net::encode_csr(csr));
+          stats_.sent_bytes += buf.size();
+          stats_.compressed_messages += 1;
+          channel_.send(tag, buf);
+          it->second = m;  // advance baseline
+          return;
+        }
+      }
+    }
+  }
+  auto buf = with_prefix(kDense, net::encode_matrix(m));
+  stats_.sent_bytes += buf.size();
+  channel_.send(tag, buf);
+  if (cfg_.enabled) send_baseline_[key] = m;
+}
+
+MatrixF Endpoint::recv(net::Tag tag, std::uint64_t key) {
+  // The blocking channel receive happens OUTSIDE the endpoint lock: holding
+  // it here would recreate the cross-party pipeline deadlock documented in
+  // net::Channel::recv (main thread blocks holding the lock; the comm-lane
+  // thread that must send the peer's awaited message queues behind it).
+  // Tags are globally unique per message, so concurrent recvs for different
+  // keys cannot steal each other's payloads; only the baseline map needs
+  // the lock.
+  const net::Message msg = channel_.recv(tag);
+  std::lock_guard<std::mutex> lock(recv_mutex_);
+  if (msg.payload.empty()) {
+    throw ProtocolError("compressed recv: empty payload");
+  }
+  const auto sk = static_cast<SubKind>(msg.payload[0]);
+  const std::uint8_t* body = msg.payload.data() + 1;
+  const std::size_t body_size = msg.payload.size() - 1;
+
+  switch (sk) {
+    case kDense: {
+      MatrixF m = net::decode_matrix_f32(body, body_size);
+      if (cfg_.enabled) recv_baseline_[key] = m;
+      return m;
+    }
+    case kCsrDelta: {
+      auto it = recv_baseline_.find(key);
+      if (it == recv_baseline_.end()) {
+        throw ProtocolError(
+            "compressed recv: delta received with no baseline for key " +
+            std::to_string(key));
+      }
+      MatrixF delta = net::decode_matrix_f32(body, body_size);
+      if (!delta.same_shape(it->second)) {
+        throw ProtocolError("compressed recv: delta shape drifted");
+      }
+      tensor::add(it->second, delta, it->second);
+      return it->second;
+    }
+    default:
+      throw ProtocolError("compressed recv: unknown subkind byte");
+  }
+}
+
+void Endpoint::reset_baselines() {
+  std::scoped_lock lock(send_mutex_, recv_mutex_);
+  send_baseline_.clear();
+  recv_baseline_.clear();
+}
+
+}  // namespace psml::compress

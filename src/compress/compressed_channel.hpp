@@ -1,0 +1,86 @@
+// Compressed transmission for inter-node communication (paper Sec. 4.4).
+//
+// Across training epochs the reconstruct-phase matrices evolve as
+//   E_{j+1} = E_j + dA_j,   F_{j+1} = F_j + dB_j        (Eqs. 11-12)
+// and the deltas dA/dB (gradient steps) are usually sparse. Each logical
+// tensor stream — identified by a caller-chosen 64-bit key such as
+// (layer, direction, operand) — keeps the previously transmitted matrix as a
+// baseline on both sides. A send computes delta = current - baseline; if the
+// delta is at least `sparsity_threshold` zeros (default 75 %, the paper's
+// setting) it goes out CSR-encoded, otherwise the dense matrix goes out and
+// both sides reset their baseline.
+//
+// Wire format: 1 subkind byte (kDense | kCsrDelta) + the net:: payload.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/channel.hpp"
+#include "net/serialize.hpp"
+#include "tensor/matrix.hpp"
+
+namespace psml::compress {
+
+struct Config {
+  bool enabled = true;
+  // Minimum fraction of zero entries in the delta for CSR to be used.
+  double sparsity_threshold = 0.75;
+};
+
+struct Stats {
+  std::uint64_t messages = 0;
+  std::uint64_t compressed_messages = 0;
+  std::uint64_t dense_bytes = 0;  // bytes a dense-only scheme would have sent
+  std::uint64_t sent_bytes = 0;   // bytes actually sent
+
+  double savings() const {
+    return dense_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(sent_bytes) / dense_bytes;
+  }
+};
+
+// One endpoint of a compressed tensor stream. A protocol party owns one
+// Endpoint per channel; it serves both directions (send and recv keep
+// independent baseline maps).
+class Endpoint {
+ public:
+  explicit Endpoint(net::Channel& channel, Config cfg = Config());
+
+  // Sends `m` on `tag` for logical stream `key`.
+  void send(net::Tag tag, std::uint64_t key, const MatrixF& m);
+
+  // Receives the matrix for logical stream `key`. Throws ProtocolError if a
+  // delta arrives for an unknown baseline or shapes drift.
+  MatrixF recv(net::Tag tag, std::uint64_t key);
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  // Drops all baselines (e.g. between training runs).
+  void reset_baselines();
+
+ private:
+  net::Channel& channel_;
+  Config cfg_;
+  Stats stats_;
+  std::unordered_map<std::uint64_t, MatrixF> send_baseline_;
+  std::unordered_map<std::uint64_t, MatrixF> recv_baseline_;
+  // The double pipeline sends/receives from two threads (main + comm lane);
+  // each direction keeps its own lock so full-duplex traffic does not
+  // serialize.
+  std::mutex send_mutex_;
+  std::mutex recv_mutex_;
+};
+
+// Stream-key helper: pack (layer, phase, operand) into the 64-bit key space.
+constexpr std::uint64_t stream_key(std::uint32_t layer, std::uint32_t phase,
+                                   std::uint32_t operand) {
+  return (static_cast<std::uint64_t>(layer) << 32) |
+         (static_cast<std::uint64_t>(phase & 0xffffu) << 16) |
+         (operand & 0xffffu);
+}
+
+}  // namespace psml::compress

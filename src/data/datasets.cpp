@@ -1,0 +1,126 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+
+#include "rng/rng.hpp"
+
+namespace psml::data {
+
+std::string to_string(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMnist: return "MNIST";
+    case DatasetKind::kVggFace2: return "VGGFace2";
+    case DatasetKind::kNist: return "NIST";
+    case DatasetKind::kCifar10: return "CIFAR-10";
+    case DatasetKind::kSynthetic: return "SYNTHETIC";
+  }
+  return "?";
+}
+
+Geometry dataset_geometry(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMnist:
+      return {28, 28, 1};  // original 28x28
+    case DatasetKind::kVggFace2:
+      return {48, 48, 1};  // original 200x200, scaled for this machine
+    case DatasetKind::kNist:
+      return {64, 64, 1};  // original 512x512, scaled
+    case DatasetKind::kCifar10:
+      return {32, 32, 3};  // original 32x32x3
+    case DatasetKind::kSynthetic:
+      return {32, 64, 1};  // the paper's 32x64 matrices
+  }
+  return {};
+}
+
+Dataset make_dataset(DatasetKind kind, LabelScheme scheme,
+                     std::size_t samples, std::uint64_t seed) {
+  Dataset ds;
+  ds.geometry = dataset_geometry(kind);
+  const std::size_t d = ds.geometry.features();
+  const std::size_t n_classes = scheme == LabelScheme::kOneHot10 ? 10 : 2;
+  ds.classes = scheme == LabelScheme::kOneHot10 ? 10 : 1;
+
+  // Per-class mean images: smooth blobs at class-dependent positions so the
+  // data have image-like spatial correlation and a conv layer has structure
+  // to find.
+  std::mt19937_64 gen(seed);
+  std::vector<MatrixF> means;
+  means.reserve(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    MatrixF mean(1, d, 0.0f);
+    const double cy = 0.2 + 0.6 * ((c * 7) % n_classes) /
+                                static_cast<double>(n_classes);
+    const double cx = 0.2 + 0.6 * ((c * 3) % n_classes) /
+                                static_cast<double>(n_classes);
+    const double sigma = 0.15 * static_cast<double>(ds.geometry.h);
+    for (std::size_t ch = 0; ch < ds.geometry.c; ++ch) {
+      for (std::size_t y = 0; y < ds.geometry.h; ++y) {
+        for (std::size_t x = 0; x < ds.geometry.w; ++x) {
+          const double dy = static_cast<double>(y) - cy * ds.geometry.h;
+          const double dx = static_cast<double>(x) - cx * ds.geometry.w;
+          const double v = std::exp(-(dx * dx + dy * dy) / (2 * sigma * sigma));
+          mean.data()[ch * ds.geometry.h * ds.geometry.w +
+                      y * ds.geometry.w + x] =
+              static_cast<float>(0.8 * v * (0.5 + 0.5 * ((c + ch) % 2)) +
+                                 0.1 * ((c + ch) % 3) / 3.0);
+        }
+      }
+    }
+    means.push_back(std::move(mean));
+  }
+
+  ds.x.resize(samples, d);
+  ds.y.resize(samples, ds.classes);
+  MatrixF noise(samples, d);
+  rng::fill_normal_par(noise, 0.0f, 0.08f, seed ^ 0x1234);
+
+  std::uniform_int_distribution<std::size_t> pick(0, n_classes - 1);
+  for (std::size_t r = 0; r < samples; ++r) {
+    const std::size_t c = pick(gen);
+    const float* mean = means[c].data();
+    float* row = ds.x.data() + r * d;
+    const float* nrow = noise.data() + r * d;
+    for (std::size_t j = 0; j < d; ++j) {
+      row[j] = std::clamp(mean[j] + nrow[j], 0.0f, 1.0f);
+    }
+    switch (scheme) {
+      case LabelScheme::kOneHot10:
+        ds.y(r, c) = 1.0f;
+        break;
+      case LabelScheme::kBinary01:
+        ds.y(r, 0) = c == 1 ? 1.0f : 0.0f;
+        break;
+      case LabelScheme::kBinaryPm1:
+        ds.y(r, 0) = c == 1 ? 1.0f : -1.0f;
+        break;
+    }
+  }
+  return ds;
+}
+
+MatrixF slice_rows(const MatrixF& m, std::size_t begin, std::size_t count) {
+  PSML_REQUIRE(begin + count <= m.rows(), "slice_rows: out of range");
+  MatrixF out(count, m.cols());
+  std::memcpy(out.data(), m.data() + begin * m.cols(),
+              count * m.cols() * sizeof(float));
+  return out;
+}
+
+std::vector<MatrixF> sequence_view(const MatrixF& batch, std::size_t steps) {
+  PSML_REQUIRE(steps > 0 && batch.cols() % steps == 0,
+               "sequence_view: feature count not divisible by steps");
+  const std::size_t d = batch.cols() / steps;
+  std::vector<MatrixF> xs(steps, MatrixF(batch.rows(), d));
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    const float* row = batch.data() + r * batch.cols();
+    for (std::size_t t = 0; t < steps; ++t) {
+      std::memcpy(xs[t].data() + r * d, row + t * d, d * sizeof(float));
+    }
+  }
+  return xs;
+}
+
+}  // namespace psml::data

@@ -1,0 +1,164 @@
+#include "ml/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace psml::ml {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50534d43;  // "PSMC"
+constexpr std::uint32_t kVersion = 1;
+
+enum class LayerTag : std::uint32_t {
+  kDense = 1,
+  kConv2D = 2,
+  kPiecewise = 3,
+  kRelu = 4,
+  kRnn = 100,
+};
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw InvalidArgument("checkpoint: truncated stream");
+  return v;
+}
+
+void write_matrix(std::ostream& os, const MatrixF& m) {
+  write_u32(os, static_cast<std::uint32_t>(m.rows()));
+  write_u32(os, static_cast<std::uint32_t>(m.cols()));
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.bytes()));
+}
+
+MatrixF read_matrix(std::istream& is) {
+  const std::uint32_t rows = read_u32(is);
+  const std::uint32_t cols = read_u32(is);
+  MatrixF m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.bytes()));
+  if (!is) throw InvalidArgument("checkpoint: truncated matrix data");
+  return m;
+}
+
+void read_matrix_into(std::istream& is, MatrixF& dst, const char* what) {
+  MatrixF m = read_matrix(is);
+  PSML_REQUIRE(m.same_shape(dst),
+               std::string("checkpoint: shape mismatch for ") + what);
+  dst = std::move(m);
+}
+
+LayerTag tag_of(Layer& layer) {
+  if (dynamic_cast<Dense*>(&layer) != nullptr) return LayerTag::kDense;
+  if (dynamic_cast<Conv2D*>(&layer) != nullptr) return LayerTag::kConv2D;
+  if (dynamic_cast<PiecewiseActivation*>(&layer) != nullptr) {
+    return LayerTag::kPiecewise;
+  }
+  if (dynamic_cast<ReLU*>(&layer) != nullptr) return LayerTag::kRelu;
+  throw InvalidArgument("checkpoint: unknown layer type");
+}
+
+void check_header(std::istream& is) {
+  if (read_u32(is) != kMagic) {
+    throw InvalidArgument("checkpoint: bad magic (not a psml checkpoint)");
+  }
+  if (read_u32(is) != kVersion) {
+    throw InvalidArgument("checkpoint: unsupported version");
+  }
+}
+
+}  // namespace
+
+void save_model(std::ostream& os, Sequential& model) {
+  write_u32(os, kMagic);
+  write_u32(os, kVersion);
+  write_u32(os, static_cast<std::uint32_t>(model.size()));
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    Layer& layer = model.layer(i);
+    write_u32(os, static_cast<std::uint32_t>(tag_of(layer)));
+    if (auto* d = dynamic_cast<Dense*>(&layer)) {
+      write_matrix(os, d->weights());
+      write_matrix(os, d->bias());
+    } else if (auto* c = dynamic_cast<Conv2D*>(&layer)) {
+      write_matrix(os, c->weights());
+    }
+  }
+}
+
+void load_model(std::istream& is, Sequential& model) {
+  check_header(is);
+  const std::uint32_t count = read_u32(is);
+  PSML_REQUIRE(count == model.size(), "checkpoint: layer count mismatch");
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    Layer& layer = model.layer(i);
+    const auto tag = static_cast<LayerTag>(read_u32(is));
+    PSML_REQUIRE(tag == tag_of(layer), "checkpoint: layer kind mismatch");
+    if (auto* d = dynamic_cast<Dense*>(&layer)) {
+      read_matrix_into(is, d->weights(), "dense weights");
+      read_matrix_into(is, d->bias(), "dense bias");
+    } else if (auto* c = dynamic_cast<Conv2D*>(&layer)) {
+      read_matrix_into(is, c->weights(), "conv weights");
+    }
+  }
+}
+
+void save_model(std::ostream& os, const RnnModel& model) {
+  write_u32(os, kMagic);
+  write_u32(os, kVersion);
+  write_u32(os, 1);  // one "layer"
+  write_u32(os, static_cast<std::uint32_t>(LayerTag::kRnn));
+  write_matrix(os, model.wx());
+  write_matrix(os, model.wh());
+  write_matrix(os, model.wo());
+}
+
+void load_model(std::istream& is, RnnModel& model) {
+  check_header(is);
+  PSML_REQUIRE(read_u32(is) == 1, "checkpoint: not an RNN checkpoint");
+  PSML_REQUIRE(static_cast<LayerTag>(read_u32(is)) == LayerTag::kRnn,
+               "checkpoint: not an RNN checkpoint");
+  read_matrix_into(is, model.wx(), "wx");
+  read_matrix_into(is, model.wh(), "wh");
+  read_matrix_into(is, model.wo(), "wo");
+}
+
+namespace {
+
+template <typename Model>
+void save_to_path(const std::string& path, Model& model) {
+  std::ofstream os(path, std::ios::binary);
+  PSML_REQUIRE(os.good(), "checkpoint: cannot open for writing: " + path);
+  save_model(os, model);
+  PSML_REQUIRE(os.good(), "checkpoint: write failed: " + path);
+}
+
+template <typename Model>
+void load_from_path(const std::string& path, Model& model) {
+  std::ifstream is(path, std::ios::binary);
+  PSML_REQUIRE(is.good(), "checkpoint: cannot open for reading: " + path);
+  load_model(is, model);
+}
+
+}  // namespace
+
+void save_model(const std::string& path, Sequential& model) {
+  save_to_path(path, model);
+}
+void save_model(const std::string& path, const RnnModel& model) {
+  save_to_path(path, model);
+}
+void load_model(const std::string& path, Sequential& model) {
+  load_from_path(path, model);
+}
+void load_model(const std::string& path, RnnModel& model) {
+  load_from_path(path, model);
+}
+
+}  // namespace psml::ml

@@ -1,0 +1,41 @@
+// Optimizers. SGD lives inline in the layers (update(lr)); this adds
+// momentum as a layer-external state holder. The momentum recursion
+//   v <- mu * v + g ; w <- w - lr * v
+// is linear in the gradient, so the secure world applies it to gradient
+// *shares* unchanged — each server keeps its own velocity share and the
+// reconstructed trajectory equals plaintext momentum SGD.
+#pragma once
+
+#include <unordered_map>
+
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace psml::ml {
+
+class MomentumState {
+ public:
+  explicit MomentumState(float mu = 0.9f) : mu_(mu) {}
+
+  // Applies one momentum step to `weights` given gradient `grad`; velocity
+  // is keyed by the weight matrix's address (one per parameter tensor).
+  void step(MatrixF& weights, const MatrixF& grad, float lr) {
+    PSML_REQUIRE(weights.same_shape(grad), "momentum: shape mismatch");
+    MatrixF& v = velocity_[&weights];
+    if (!v.same_shape(grad)) v.resize(grad.rows(), grad.cols());
+    // v = mu * v + g
+    tensor::scale(v, mu_, v);
+    tensor::axpy(1.0f, grad, v);
+    // w -= lr * v
+    tensor::axpy(-lr, v, weights);
+  }
+
+  float mu() const { return mu_; }
+  void reset() { velocity_.clear(); }
+
+ private:
+  float mu_;
+  std::unordered_map<const MatrixF*, MatrixF> velocity_;
+};
+
+}  // namespace psml::ml

@@ -1,0 +1,70 @@
+#include "ml/plain/pooling.hpp"
+
+namespace psml::ml {
+
+AvgPool2D::AvgPool2D(PoolShape shape) : shape_(shape) {
+  PSML_REQUIRE(shape_.window > 0 && shape_.in_h % shape_.window == 0 &&
+                   shape_.in_w % shape_.window == 0,
+               "AvgPool2D: window must evenly divide the input");
+}
+
+MatrixF AvgPool2D::pool(const MatrixF& x, const PoolShape& s) {
+  PSML_REQUIRE(x.cols() == s.in_features(), "AvgPool2D: input width mismatch");
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const float inv = 1.0f / static_cast<float>(s.window * s.window);
+  MatrixF y(x.rows(), s.out_features_(), 0.0f);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const float* img = x.data() + b * x.cols();
+    float* out = y.data() + b * y.cols();
+    for (std::size_t c = 0; c < s.channels; ++c) {
+      const float* chan = img + c * s.in_h * s.in_w;
+      float* omap = out + c * oh * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (std::size_t wy = 0; wy < s.window; ++wy) {
+            const float* row = chan + (oy * s.window + wy) * s.in_w;
+            for (std::size_t wx = 0; wx < s.window; ++wx) {
+              acc += row[ox * s.window + wx];
+            }
+          }
+          omap[oy * ow + ox] = acc * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+MatrixF AvgPool2D::unpool(const MatrixF& dy, const PoolShape& s) {
+  PSML_REQUIRE(dy.cols() == s.out_features_(),
+               "AvgPool2D: grad width mismatch");
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const float inv = 1.0f / static_cast<float>(s.window * s.window);
+  MatrixF dx(dy.rows(), s.in_features(), 0.0f);
+  for (std::size_t b = 0; b < dy.rows(); ++b) {
+    const float* grad = dy.data() + b * dy.cols();
+    float* img = dx.data() + b * dx.cols();
+    for (std::size_t c = 0; c < s.channels; ++c) {
+      const float* gmap = grad + c * oh * ow;
+      float* chan = img + c * s.in_h * s.in_w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = gmap[oy * ow + ox] * inv;
+          for (std::size_t wy = 0; wy < s.window; ++wy) {
+            float* row = chan + (oy * s.window + wy) * s.in_w;
+            for (std::size_t wx = 0; wx < s.window; ++wx) {
+              row[ox * s.window + wx] = g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+MatrixF AvgPool2D::forward(const MatrixF& x) { return pool(x, shape_); }
+MatrixF AvgPool2D::backward(const MatrixF& dy) { return unpool(dy, shape_); }
+
+}  // namespace psml::ml

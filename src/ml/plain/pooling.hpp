@@ -1,0 +1,43 @@
+// Average pooling. Chosen over max pooling deliberately: averaging is
+// *linear*, so the secure counterpart is purely local on shares (no
+// comparison protocol per window) — the same reason SecureML-family systems
+// prefer it. Input/output use the channel-major flat layout of Conv2D.
+#pragma once
+
+#include "ml/plain/layers.hpp"
+
+namespace psml::ml {
+
+struct PoolShape {
+  std::size_t in_h = 0, in_w = 0;
+  std::size_t channels = 1;
+  std::size_t window = 2;  // square, non-overlapping (stride == window)
+
+  std::size_t out_h() const { return in_h / window; }
+  std::size_t out_w() const { return in_w / window; }
+  std::size_t in_features() const { return channels * in_h * in_w; }
+  std::size_t out_features_() const { return channels * out_h() * out_w(); }
+};
+
+class AvgPool2D : public Layer {
+ public:
+  explicit AvgPool2D(PoolShape shape);
+
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+  std::size_t out_features(std::size_t) const override {
+    return shape_.out_features_();
+  }
+
+  const PoolShape& shape() const { return shape_; }
+
+  // The linear maps themselves, exposed for the secure layer (identical
+  // code runs on shares).
+  static MatrixF pool(const MatrixF& x, const PoolShape& s);
+  static MatrixF unpool(const MatrixF& dy, const PoolShape& s);
+
+ private:
+  PoolShape shape_;
+};
+
+}  // namespace psml::ml

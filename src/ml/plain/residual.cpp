@@ -1,0 +1,56 @@
+#include "ml/plain/residual.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace psml::ml {
+
+ResidualBlock::ResidualBlock(std::vector<std::unique_ptr<Layer>> inner)
+    : inner_(std::move(inner)) {
+  PSML_REQUIRE(!inner_.empty(), "ResidualBlock: empty inner stack");
+}
+
+MatrixF ResidualBlock::forward(const MatrixF& x) {
+  MatrixF cur = x;
+  for (auto& l : inner_) cur = l->forward(cur);
+  PSML_REQUIRE(cur.same_shape(x),
+               "ResidualBlock: inner stack changed feature width");
+  MatrixF z;
+  tensor::add(cur, x, z);
+
+  // Eq. 9 activation on the summed pre-activation.
+  MatrixF y(z.rows(), z.cols());
+  act_mask_.resize(z.rows(), z.cols());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const float v = z.data()[i];
+    if (v < -0.5f) {
+      y.data()[i] = 0.0f;
+      act_mask_.data()[i] = 0.0f;
+    } else if (v > 0.5f) {
+      y.data()[i] = 1.0f;
+      act_mask_.data()[i] = 0.0f;
+    } else {
+      y.data()[i] = v + 0.5f;
+      act_mask_.data()[i] = 1.0f;
+    }
+  }
+  return y;
+}
+
+MatrixF ResidualBlock::backward(const MatrixF& dy) {
+  // Through the activation, then both branches: dX = inner'(dz) + dz.
+  MatrixF dz;
+  tensor::hadamard(dy, act_mask_, dz);
+  MatrixF dinner = dz;
+  for (auto it = inner_.rbegin(); it != inner_.rend(); ++it) {
+    dinner = (*it)->backward(dinner);
+  }
+  MatrixF dx;
+  tensor::add(dinner, dz, dx);
+  return dx;
+}
+
+void ResidualBlock::update(float lr) {
+  for (auto& l : inner_) l->update(lr);
+}
+
+}  // namespace psml::ml

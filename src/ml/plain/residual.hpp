@@ -1,0 +1,35 @@
+// Residual block (paper Sec. 7.7 "Possible Application Scenarios": "most
+// layers in ResNet are convolution layers ... ParSecureML still can be
+// used"). The block computes
+//   y = f(inner(x) + x)
+// where `inner` is any width-preserving stack of layers and f is the Eq. 9
+// activation. The skip connection is a share-linear add, so the secure
+// counterpart costs nothing beyond the inner layers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/plain/layers.hpp"
+
+namespace psml::ml {
+
+class ResidualBlock : public Layer {
+ public:
+  // Inner layers must preserve feature width.
+  explicit ResidualBlock(std::vector<std::unique_ptr<Layer>> inner);
+
+  MatrixF forward(const MatrixF& x) override;
+  MatrixF backward(const MatrixF& dy) override;
+  void update(float lr) override;
+  std::size_t out_features(std::size_t in) const override { return in; }
+
+  std::size_t inner_size() const { return inner_.size(); }
+  Layer& inner_layer(std::size_t i) { return *inner_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> inner_;
+  MatrixF act_mask_;
+};
+
+}  // namespace psml::ml

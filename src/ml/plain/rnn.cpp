@@ -1,0 +1,83 @@
+#include "ml/plain/rnn.hpp"
+
+#include "ml/plain/layers.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace psml::ml {
+
+RnnModel::RnnModel(std::size_t input_dim, std::size_t hidden_dim,
+                   std::size_t output_dim, std::uint64_t seed)
+    : wx_(xavier_init(input_dim, hidden_dim, seed)),
+      wh_(xavier_init(hidden_dim, hidden_dim, seed + 1)),
+      wo_(xavier_init(hidden_dim, output_dim, seed + 2)),
+      dwx_(input_dim, hidden_dim, 0.0f),
+      dwh_(hidden_dim, hidden_dim, 0.0f),
+      dwo_(hidden_dim, output_dim, 0.0f) {}
+
+MatrixF RnnModel::forward(const std::vector<MatrixF>& xs) {
+  PSML_REQUIRE(!xs.empty(), "RNN: empty sequence");
+  const std::size_t batch = xs[0].rows();
+  const std::size_t hidden = wh_.rows();
+
+  xs_cache_ = xs;
+  h_cache_.assign(1, MatrixF(batch, hidden, 0.0f));
+  mask_cache_.clear();
+
+  for (const auto& x : xs) {
+    PSML_REQUIRE(x.cols() == wx_.rows(), "RNN: input width mismatch");
+    MatrixF z = tensor::matmul(x, wx_);
+    tensor::gemm_parallel(1.0f, h_cache_.back(), tensor::Trans::kNo, wh_,
+                          tensor::Trans::kNo, 1.0f, z);
+    MatrixF h(batch, hidden);
+    MatrixF mask(batch, hidden);
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      const float v = z.data()[i];
+      if (v < -0.5f) {
+        h.data()[i] = 0.0f;
+        mask.data()[i] = 0.0f;
+      } else if (v > 0.5f) {
+        h.data()[i] = 1.0f;
+        mask.data()[i] = 0.0f;
+      } else {
+        h.data()[i] = v + 0.5f;
+        mask.data()[i] = 1.0f;
+      }
+    }
+    h_cache_.push_back(std::move(h));
+    mask_cache_.push_back(std::move(mask));
+  }
+  return tensor::matmul(h_cache_.back(), wo_);
+}
+
+void RnnModel::backward(const MatrixF& dout) {
+  const std::size_t steps = xs_cache_.size();
+  // dW_o = h_T^T x dout ; dh_T = dout x W_o^T
+  MatrixF ht_t = tensor::transpose(h_cache_.back());
+  tensor::gemm_parallel(1.0f, ht_t, tensor::Trans::kNo, dout,
+                        tensor::Trans::kNo, 1.0f, dwo_);
+  MatrixF dh = tensor::matmul(dout, tensor::transpose(wo_));
+
+  for (std::size_t t = steps; t-- > 0;) {
+    // dz = dh .* mask_t
+    MatrixF dz;
+    tensor::hadamard(dh, mask_cache_[t], dz);
+    // dW_x += x_t^T dz ; dW_h += h_{t-1}^T dz ; dh = dz W_h^T
+    tensor::gemm_parallel(1.0f, xs_cache_[t], tensor::Trans::kYes, dz,
+                          tensor::Trans::kNo, 1.0f, dwx_);
+    tensor::gemm_parallel(1.0f, h_cache_[t], tensor::Trans::kYes, dz,
+                          tensor::Trans::kNo, 1.0f, dwh_);
+    dh = tensor::matmul(dz, tensor::transpose(wh_));
+  }
+}
+
+void RnnModel::update(float lr) {
+  tensor::axpy(-lr, dwx_, wx_);
+  tensor::axpy(-lr, dwh_, wh_);
+  tensor::axpy(-lr, dwo_, wo_);
+  dwx_.fill(0.0f);
+  dwh_.fill(0.0f);
+  dwo_.fill(0.0f);
+}
+
+}  // namespace psml::ml

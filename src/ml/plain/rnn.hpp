@@ -1,0 +1,48 @@
+// Plaintext Elman RNN with full backpropagation through time.
+//
+//   h_t = f(x_t W_x + h_{t-1} W_h),   o = h_T W_o
+// with f the Eq. 9 piecewise activation. Sequences are provided as a vector
+// of per-timestep batch x input_dim matrices.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace psml::ml {
+
+class RnnModel {
+ public:
+  RnnModel(std::size_t input_dim, std::size_t hidden_dim,
+           std::size_t output_dim, std::uint64_t seed = 44);
+
+  // xs: one matrix per timestep, each batch x input_dim.
+  MatrixF forward(const std::vector<MatrixF>& xs);
+
+  // Full BPTT from the output-loss gradient; accumulates parameter grads.
+  void backward(const MatrixF& dout);
+
+  void update(float lr);
+
+  std::size_t hidden_dim() const { return wh_.rows(); }
+  std::size_t output_dim() const { return wo_.cols(); }
+  const MatrixF& wx() const { return wx_; }
+  const MatrixF& wh() const { return wh_; }
+  const MatrixF& wo() const { return wo_; }
+  MatrixF& wx() { return wx_; }
+  MatrixF& wh() { return wh_; }
+  MatrixF& wo() { return wo_; }
+
+ private:
+  MatrixF wx_;  // input_dim x hidden
+  MatrixF wh_;  // hidden x hidden
+  MatrixF wo_;  // hidden x output
+  MatrixF dwx_, dwh_, dwo_;
+
+  // Caches for BPTT.
+  std::vector<MatrixF> xs_cache_;
+  std::vector<MatrixF> h_cache_;     // h_0 .. h_T (h_0 = zeros)
+  std::vector<MatrixF> mask_cache_;  // activation derivative per step
+};
+
+}  // namespace psml::ml

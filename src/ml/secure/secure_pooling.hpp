@@ -1,0 +1,30 @@
+// Secure average pooling — runs AvgPool2D's linear maps directly on each
+// party's share; no triplets, no communication (see pooling.hpp).
+#pragma once
+
+#include "ml/plain/pooling.hpp"
+#include "ml/secure/secure_layers.hpp"
+
+namespace psml::ml {
+
+class SecureAvgPool2D : public SecureLayer {
+ public:
+  explicit SecureAvgPool2D(PoolShape shape) : shape_(shape) {}
+
+  void plan(std::vector<mpc::TripletSpec>&, std::size_t, bool) const override {
+    // Linear layer: consumes no offline material.
+  }
+  MatrixF forward(SecureEnv&, const MatrixF& x_i) override {
+    return AvgPool2D::pool(x_i, shape_);
+  }
+  MatrixF backward(SecureEnv&, const MatrixF& dy_i) override {
+    return AvgPool2D::unpool(dy_i, shape_);
+  }
+
+  const PoolShape& shape() const { return shape_; }
+
+ private:
+  PoolShape shape_;
+};
+
+}  // namespace psml::ml

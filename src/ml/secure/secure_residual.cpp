@@ -1,0 +1,56 @@
+#include "ml/secure/secure_residual.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace psml::ml {
+
+SecureResidualBlock::SecureResidualBlock(
+    std::vector<std::unique_ptr<SecureLayer>> inner, std::size_t width)
+    : inner_(std::move(inner)), width_(width) {
+  PSML_REQUIRE(!inner_.empty(), "SecureResidualBlock: empty inner stack");
+  set_layer_id(0);
+}
+
+void SecureResidualBlock::set_layer_id(std::uint32_t id) {
+  SecureLayer::set_layer_id(id);
+  for (std::size_t i = 0; i < inner_.size(); ++i) {
+    inner_[i]->set_layer_id(id * 16 + static_cast<std::uint32_t>(i) + 1000);
+  }
+}
+
+void SecureResidualBlock::plan(std::vector<mpc::TripletSpec>& specs,
+                               std::size_t batch, bool training) const {
+  for (const auto& l : inner_) l->plan(specs, batch, training);
+  specs.push_back({mpc::TripletKind::kActivation, batch, 0, width_});
+}
+
+MatrixF SecureResidualBlock::forward(SecureEnv& env, const MatrixF& x_i) {
+  MatrixF cur = x_i;
+  for (auto& l : inner_) cur = l->forward(env, cur);
+  PSML_REQUIRE(cur.same_shape(x_i),
+               "SecureResidualBlock: inner stack changed feature width");
+  // Skip connection: share-linear, local.
+  MatrixF z;
+  tensor::add(cur, x_i, z);
+  auto act = mpc::secure_activation(*env.ctx, z);
+  act_mask_ = std::move(act.grad_mask);
+  return std::move(act.value_share);
+}
+
+MatrixF SecureResidualBlock::backward(SecureEnv& env, const MatrixF& dy_i) {
+  MatrixF dz;
+  tensor::hadamard(dy_i, act_mask_, dz);  // public mask: local
+  MatrixF dinner = dz;
+  for (auto it = inner_.rbegin(); it != inner_.rend(); ++it) {
+    dinner = (*it)->backward(env, dinner);
+  }
+  MatrixF dx;
+  tensor::add(dinner, dz, dx);
+  return dx;
+}
+
+void SecureResidualBlock::update(float lr) {
+  for (auto& l : inner_) l->update(lr);
+}
+
+}  // namespace psml::ml

@@ -1,0 +1,37 @@
+// Secure residual block — mirror of ml::ResidualBlock on shares.
+// The skip connection is a local share add; the block activation runs the
+// Eq. 9 masked-comparison protocol.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/secure/secure_layers.hpp"
+
+namespace psml::ml {
+
+class SecureResidualBlock : public SecureLayer {
+ public:
+  SecureResidualBlock(std::vector<std::unique_ptr<SecureLayer>> inner,
+                      std::size_t width);
+
+  void plan(std::vector<mpc::TripletSpec>& specs, std::size_t batch,
+            bool training) const override;
+  MatrixF forward(SecureEnv& env, const MatrixF& x_i) override;
+  MatrixF backward(SecureEnv& env, const MatrixF& dy_i) override;
+  void update(float lr) override;
+
+  std::size_t inner_size() const { return inner_.size(); }
+  SecureLayer& inner_layer(std::size_t i) { return *inner_[i]; }
+
+  // Propagates derived ids to the inner layers so their compression stream
+  // keys stay unique.
+  void set_layer_id(std::uint32_t id) override;
+
+ private:
+  std::vector<std::unique_ptr<SecureLayer>> inner_;
+  std::size_t width_;
+  MatrixF act_mask_;  // public region mask of the block activation
+};
+
+}  // namespace psml::ml

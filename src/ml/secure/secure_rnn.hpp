@@ -1,0 +1,44 @@
+// Secure Elman RNN with BPTT on shares — mirrors ml::RnnModel.
+//
+//   h_t = f(x_t W_x + h_{t-1} W_h),  o = h_T W_o
+// Every product is a triplet matmul; the activation runs the masked-
+// comparison protocol; gradient accumulation across timesteps is local
+// (sums of shares are shares of sums).
+#pragma once
+
+#include <vector>
+
+#include "ml/secure/secure_layers.hpp"
+
+namespace psml::ml {
+
+class SecureRnn {
+ public:
+  SecureRnn(MatrixF wx_share, MatrixF wh_share, MatrixF wo_share);
+
+  // Per-batch triplet specs for `steps` timesteps, in consumption order.
+  void plan(std::vector<mpc::TripletSpec>& specs, std::size_t batch,
+            std::size_t steps, bool training) const;
+
+  MatrixF forward(SecureEnv& env, const std::vector<MatrixF>& xs_i);
+  void backward(SecureEnv& env, const MatrixF& dout_i);
+  void update(float lr);
+
+  // Re-randomizes the gradient shares down to mask scale (float-share
+  // numerical stability; see mpc::refresh_share). backward() calls this.
+  void refresh_grads(SecureEnv& env);
+
+  const MatrixF& wx_share() const { return wx_; }
+  const MatrixF& wh_share() const { return wh_; }
+  const MatrixF& wo_share() const { return wo_; }
+
+ private:
+  MatrixF wx_, wh_, wo_;
+  MatrixF dwx_, dwh_, dwo_;
+
+  std::vector<MatrixF> xs_cache_;
+  std::vector<MatrixF> h_cache_;
+  std::vector<MatrixF> mask_cache_;  // public activation masks
+};
+
+}  // namespace psml::ml

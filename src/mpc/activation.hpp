@@ -1,0 +1,56 @@
+// Secure piecewise-linear activation (paper Sec. 4.2, Eq. 9).
+//
+//            { 0        x < -1/2
+//   f(x) =   { x + 1/2  -1/2 <= x <= 1/2
+//            { 1        x > 1/2
+//
+// The servers hold additive shares x_i of the pre-activation X and must end
+// with shares of f(X). The nonlinearity reduces to two comparisons per
+// element: X vs -1/2 and X vs +1/2. We use dealer-assisted masked sign
+// reveal: offline material contains a secret random *positive* mask S
+// (shared) and a Beaver triplet; online, the servers securely compute
+// Y .* S for Y = X + 1/2 (resp. X - 1/2) and open the product. Since S > 0,
+// sign(Y .* S) = sign(Y), so both servers learn *only* which side of the
+// threshold each element lies on — the same region information that any
+// piecewise evaluation (including the reference implementation's) exposes —
+// while magnitudes stay masked. f(X) is then linear per region:
+//   middle:  f = X + 1/2  ->  share_i = x_i + i * 1/2
+//   low:     f = 0        ->  share_i = 0
+//   high:    f = 1        ->  share_i = i
+// The derivative mask (for backprop) is public per region: 1 in the middle,
+// 0 outside.
+#pragma once
+
+#include <cstdint>
+
+#include "mpc/party.hpp"
+#include "tensor/matrix.hpp"
+
+namespace psml::mpc {
+
+struct ActivationResult {
+  MatrixF value_share;  // share of f(X)
+  MatrixF grad_mask;    // public region mask: f'(X) in {0, 1}
+};
+
+ActivationResult secure_activation(PartyContext& ctx, const MatrixF& x_i,
+                                   const ActivationShare& material,
+                                   std::uint64_t comm_key = 0);
+
+// Pops the next activation material from the party's offline store.
+ActivationResult secure_activation(PartyContext& ctx, const MatrixF& x_i,
+                                   std::uint64_t comm_key = 0);
+
+// Public comparison mask [X < c] from shares of X via one masked-sign
+// reveal, consuming the `t_lo`/`s_lo` half of an ActivationShare. Used by
+// the SVM hinge loss (margin test) — both servers learn the boolean mask,
+// the same leakage profile as the activation protocol.
+MatrixF secure_less_than(PartyContext& ctx, const MatrixF& x_i, float c,
+                         const ActivationShare& material,
+                         std::uint64_t comm_key = 0);
+
+// Plaintext reference of Eq. 9 (used by tests and the plaintext models).
+MatrixF activation_ref(const MatrixF& x);
+MatrixF activation_grad_ref(const MatrixF& x);
+
+}  // namespace psml::mpc

@@ -1,0 +1,51 @@
+// Fixed-point arithmetic over Z_2^64 — SecureML's number system.
+//
+// Reals are encoded as round(x * 2^kFracBits) in two's complement, embedded
+// in uint64 with wraparound arithmetic. After a fixed-point multiply the
+// product carries 2*kFracBits fractional bits; SecureML's local truncation
+// (each party independently shifts its share) restores the scale at the cost
+// of being off by at most 1 ulp with overwhelming probability.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace psml::mpc {
+
+// SecureML uses 13 fractional bits (their l_D = 13).
+inline constexpr unsigned kFracBits = 13;
+inline constexpr double kFixedScale = static_cast<double>(1u << kFracBits);
+
+inline std::uint64_t encode_fixed(double x) {
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(x * kFixedScale + (x >= 0 ? 0.5 : -0.5)));
+}
+
+inline double decode_fixed(std::uint64_t v) {
+  return static_cast<double>(static_cast<std::int64_t>(v)) / kFixedScale;
+}
+
+MatrixU64 encode_fixed(const MatrixF& x);
+MatrixF decode_fixed(const MatrixU64& v);
+
+// Elementwise ring ops (mod 2^64 — plain unsigned wraparound).
+MatrixU64 ring_add(const MatrixU64& a, const MatrixU64& b);
+MatrixU64 ring_sub(const MatrixU64& a, const MatrixU64& b);
+
+// C = A x B over Z_2^64, blocked ikj kernel.
+MatrixU64 ring_matmul(const MatrixU64& a, const MatrixU64& b);
+
+// SecureML local truncation: arithmetic-shift each element right by
+// kFracBits as a signed value. Applied to each *share*; party 1 uses the
+// two's-complement trick (negate, shift, negate) so the reconstructed value
+// is truncated correctly up to +-1 ulp.
+MatrixU64 truncate_share(const MatrixU64& share, int party);
+
+// Multiplies a share by a *public* fixed-point constant and restores the
+// scale: share' = trunc(share * encode(c)). Purely local (multiplication by
+// a public value commutes with additive sharing); used for learning-rate
+// and 1/batch scalings in ring-mode training.
+MatrixU64 ring_scale_share(const MatrixU64& share, double c, int party);
+
+}  // namespace psml::mpc

@@ -1,0 +1,34 @@
+// Secure matrix multiplication over Z_2^64 with fixed-point encoding —
+// SecureML's exact algebra, provided alongside the float-share mode for
+// protocol fidelity (see DESIGN.md §6). Shares here are uniform over the
+// full ring, so the masking is information-theoretic; reconstruction is
+// exact up to the +-1 ulp of probabilistic truncation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "mpc/party.hpp"
+#include "mpc/ring.hpp"
+#include "mpc/share.hpp"
+#include "tensor/matrix.hpp"
+
+namespace psml::mpc {
+
+struct RingTripletShare {
+  MatrixU64 u, v, z;
+};
+
+// Dealer-side generation of a ring matmul triplet (U, V uniform, Z = U x V).
+std::pair<RingTripletShare, RingTripletShare> make_ring_matmul_triplet(
+    std::size_t m, std::size_t k, std::size_t n, std::uint64_t seed);
+
+// Online step: inputs are fixed-point-encoded shares; the result share is
+// truncated back to kFracBits fractional bits when `truncate` is set (the
+// usual case — skip it only when composing raw ring products).
+MatrixU64 secure_matmul_ring(PartyContext& ctx, const MatrixU64& a_i,
+                             const MatrixU64& b_i,
+                             const RingTripletShare& triplet,
+                             bool truncate = true);
+
+}  // namespace psml::mpc

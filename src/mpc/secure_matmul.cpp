@@ -1,0 +1,261 @@
+#include "mpc/secure_matmul.hpp"
+
+#include <future>
+
+#include "mpc/share.hpp"
+#include "net/serialize.hpp"
+#include "rng/rng.hpp"
+
+#include "profile/adaptive.hpp"
+#include "profile/profiler.hpp"
+#include "sgpu/ops.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace psml::mpc {
+
+namespace {
+
+// Concurrent send/recv so neither TCP endpoint can deadlock on full socket
+// buffers when both parties transmit large shares simultaneously. In-process
+// channels never block on send, so they take the cheap inline path (no
+// thread spawn per exchange).
+MatrixF exchange(PartyContext& ctx, net::Tag tag, std::uint64_t key,
+                 const MatrixF& mine) {
+  if (!ctx.peer().send_may_block()) {
+    ctx.compressed().send(tag, key, mine);
+    return ctx.compressed().recv(tag, key);
+  }
+  auto sent = std::async(std::launch::async, [&] {
+    ctx.compressed().send(tag, key, mine);
+  });
+  MatrixF theirs = ctx.compressed().recv(tag, key);
+  sent.get();
+  return theirs;
+}
+
+// CPU evaluation of the online combination (Eq. 6 or fused Eq. 8).
+MatrixF compute_ci_cpu(PartyContext& ctx, const MatrixF& e, const MatrixF& f,
+                       const MatrixF& a_i, const MatrixF& b_i,
+                       const MatrixF& z_i) {
+  const auto& o = ctx.options();
+  const float neg_i = -static_cast<float>(ctx.id());
+  MatrixF c(a_i.rows(), b_i.cols());
+
+  if (o.fuse_eq8) {
+    // D = (-i) * E + A_i;  C = D x F + E x B_i + Z_i   (two GEMMs)
+    MatrixF d;
+    if (o.cpu_parallel) {
+      d.resize(e.rows(), e.cols());
+      tensor::scale_par(e, neg_i, d);
+      tensor::add_par(d, a_i, d);
+      tensor::gemm_parallel(1.0f, d, tensor::Trans::kNo, f, tensor::Trans::kNo,
+                            0.0f, c);
+      tensor::gemm_parallel(1.0f, e, tensor::Trans::kNo, b_i,
+                            tensor::Trans::kNo, 1.0f, c);
+      tensor::add_par(c, z_i, c);
+    } else {
+      tensor::scale(e, neg_i, d);
+      tensor::add(d, a_i, d);
+      tensor::gemm_blocked(1.0f, d, tensor::Trans::kNo, f, tensor::Trans::kNo,
+                           0.0f, c);
+      tensor::gemm_blocked(1.0f, e, tensor::Trans::kNo, b_i, tensor::Trans::kNo,
+                           1.0f, c);
+      tensor::add(c, z_i, c);
+    }
+    return c;
+  }
+
+  // Literal Eq. 6: C = (-i) ExF + A_i x F + E x B_i + Z_i (three GEMMs).
+  // Baseline mode uses the naive kernel throughout (single-thread SecureML).
+  auto gemm = o.cpu_parallel ? tensor::gemm_parallel : tensor::gemm_naive;
+  if (ctx.id() == 1) {
+    gemm(-1.0f, e, tensor::Trans::kNo, f, tensor::Trans::kNo, 0.0f, c);
+  } else {
+    c.fill(0.0f);
+  }
+  gemm(1.0f, a_i, tensor::Trans::kNo, f, tensor::Trans::kNo, 1.0f, c);
+  gemm(1.0f, e, tensor::Trans::kNo, b_i, tensor::Trans::kNo, 1.0f, c);
+  if (o.cpu_parallel) {
+    tensor::add_par(c, z_i, c);
+  } else {
+    tensor::add(c, z_i, c);
+  }
+  return c;
+}
+
+// Device evaluation of fused Eq. 8 with the Fig. 5 transfer/compute pipeline:
+//   copy stream:    E | A_i | F        | B_i       | Z_i
+//   compute stream:         D=-iE+A_i  | C = D x F | C += E x B_i | C += Z_i
+MatrixF compute_ci_gpu(PartyContext& ctx, const MatrixF& e, const MatrixF& f,
+                       const MatrixF& a_i, const MatrixF& b_i,
+                       const MatrixF& z_i) {
+  auto& dev = ctx.device();
+  const auto& o = ctx.options();
+  const float neg_i = -static_cast<float>(ctx.id());
+  // The fp16 path's win (halved operand traffic) only materializes on large
+  // GEMMs; below the crossover the quantization pass dominates (Fig. 15
+  // kernel sweep), so gate it by problem size.
+  const double flops =
+      2.0 * static_cast<double>(a_i.rows()) * b_i.cols() * a_i.cols();
+  const bool tc =
+      o.use_tensor_core && flops >= static_cast<double>(1 << 24);
+
+  sgpu::Stream& copy = o.use_pipeline ? ctx.copy_stream() : ctx.compute_stream();
+  sgpu::Stream& comp = ctx.compute_stream();
+
+  sgpu::DeviceMatrix de(dev, e.rows(), e.cols());
+  sgpu::DeviceMatrix da(dev, a_i.rows(), a_i.cols());
+  sgpu::DeviceMatrix df(dev, f.rows(), f.cols());
+  sgpu::DeviceMatrix db(dev, b_i.rows(), b_i.cols());
+  sgpu::DeviceMatrix dz(dev, z_i.rows(), z_i.cols());
+  sgpu::DeviceMatrix dd(dev, e.rows(), e.cols());
+  sgpu::DeviceMatrix dc(dev, a_i.rows(), b_i.cols());
+
+  sgpu::upload_async(dev, copy, de, e);
+  sgpu::upload_async(dev, copy, da, a_i);
+  const sgpu::Event e_ea = copy.record_event();
+  sgpu::upload_async(dev, copy, df, f);
+  const sgpu::Event e_f = copy.record_event();
+  sgpu::upload_async(dev, copy, db, b_i);
+  const sgpu::Event e_b = copy.record_event();
+  sgpu::upload_async(dev, copy, dz, z_i);
+  const sgpu::Event e_z = copy.record_event();
+
+  if (o.use_pipeline) comp.wait_event(e_ea);
+  sgpu::axpby_async(dev, comp, neg_i, de, da, dd);  // D = (-i) E + A_i
+  if (o.use_pipeline) comp.wait_event(e_f);
+  sgpu::gemm_async(dev, comp, dd, df, dc, 1.0f, 0.0f, tc);  // C = D x F
+  if (o.use_pipeline) comp.wait_event(e_b);
+  sgpu::gemm_async(dev, comp, de, db, dc, 1.0f, 1.0f, tc);  // C += E x B_i
+  if (o.use_pipeline) comp.wait_event(e_z);
+  sgpu::add_inplace_async(dev, comp, dz, dc);  // C += Z_i
+
+  MatrixF c(a_i.rows(), b_i.cols());
+  sgpu::download_async(dev, comp, c, dc);
+  comp.synchronize();
+  return c;
+}
+
+}  // namespace
+
+Reconstructed reconstruct_ef(PartyContext& ctx, const MatrixF& a_i,
+                             const MatrixF& b_i, const TripletShare& triplet,
+                             std::uint64_t comm_key) {
+  PSML_REQUIRE(a_i.same_shape(triplet.u) && b_i.same_shape(triplet.v),
+               "secure_matmul: triplet shape does not match operands");
+  auto& prof = profile::Profiler::global();
+  const auto& o = ctx.options();
+  const std::uint32_t seq = ctx.next_seq();
+  const std::uint64_t key =
+      comm_key != 0 ? comm_key : (std::uint64_t{0xEF00} << 32) | seq;
+
+  // compute1: E_i = A_i - U_i, F_i = B_i - V_i
+  MatrixF e_i, f_i;
+  {
+    profile::ScopedPhase sp(prof, "online.compute1");
+    if (o.cpu_parallel) {
+      tensor::sub_par(a_i, triplet.u, e_i);
+      tensor::sub_par(b_i, triplet.v, f_i);
+    } else {
+      tensor::sub(a_i, triplet.u, e_i);
+      tensor::sub(b_i, triplet.v, f_i);
+    }
+  }
+
+  // communicate: exchange E_i / F_i, sum to E / F.
+  Reconstructed ef;
+  {
+    profile::ScopedPhase sp(prof, "online.communicate");
+    const net::Tag te = tags::kExchangeE + (seq & 0x00ffffffu);
+    const net::Tag tf = tags::kExchangeF + (seq & 0x00ffffffu);
+    MatrixF e_peer = exchange(ctx, te, key ^ 0x1, e_i);
+    MatrixF f_peer = exchange(ctx, tf, key ^ 0x2, f_i);
+    if (o.cpu_parallel) {
+      tensor::add_par(e_i, e_peer, ef.e);
+      tensor::add_par(f_i, f_peer, ef.f);
+    } else {
+      tensor::add(e_i, e_peer, ef.e);
+      tensor::add(f_i, f_peer, ef.f);
+    }
+  }
+  return ef;
+}
+
+MatrixF compute_ci(PartyContext& ctx, const Reconstructed& ef,
+                   const MatrixF& a_i, const MatrixF& b_i,
+                   const TripletShare& triplet) {
+  auto& prof = profile::Profiler::global();
+  profile::ScopedPhase sp(prof, "online.compute2");
+  const auto& o = ctx.options();
+
+  bool on_gpu = o.use_gpu;
+  if (on_gpu && o.adaptive) {
+    // The fused form costs ~2 GEMMs of (m,n,k); fold that into one decision
+    // with doubled k (same flop count).
+    const auto d = profile::AdaptiveDispatch::global().decide(
+        a_i.rows(), b_i.cols(), 2 * a_i.cols());
+    on_gpu = d.use_gpu;
+  }
+  if (on_gpu) {
+    return compute_ci_gpu(ctx, ef.e, ef.f, a_i, b_i, triplet.z);
+  }
+  return compute_ci_cpu(ctx, ef.e, ef.f, a_i, b_i, triplet.z);
+}
+
+MatrixF open_operand(PartyContext& ctx, const MatrixF& share,
+                     const MatrixF& mask_share, net::Tag tag,
+                     std::uint64_t comm_key) {
+  PSML_REQUIRE(share.same_shape(mask_share),
+               "open_operand: mask shape mismatch");
+  auto& prof = profile::Profiler::global();
+  MatrixF diff;
+  {
+    profile::ScopedPhase sp(prof, "online.compute1");
+    if (ctx.options().cpu_parallel) {
+      tensor::sub_par(share, mask_share, diff);
+    } else {
+      tensor::sub(share, mask_share, diff);
+    }
+  }
+  profile::ScopedPhase sp(prof, "online.communicate");
+  MatrixF peer = exchange(ctx, tag, comm_key, diff);
+  MatrixF out;
+  tensor::add(diff, peer, out);
+  return out;
+}
+
+MatrixF secure_matmul(PartyContext& ctx, const MatrixF& a_i,
+                      const MatrixF& b_i, const TripletShare& triplet,
+                      std::uint64_t comm_key) {
+  const Reconstructed ef = reconstruct_ef(ctx, a_i, b_i, triplet, comm_key);
+  return compute_ci(ctx, ef, a_i, b_i, triplet);
+}
+
+MatrixF refresh_share(PartyContext& ctx, const MatrixF& x_i) {
+  auto& prof = profile::Profiler::global();
+  profile::ScopedPhase sp(prof, "online.communicate");
+  const net::Tag tag =
+      tags::kControl + 0x200000u + (ctx.next_seq() & 0x000fffffu);
+  if (ctx.id() == 0) {
+    MatrixF fresh(x_i.rows(), x_i.cols());
+    rng::fill_uniform_par(fresh, -kFloatMaskRadius, kFloatMaskRadius,
+                          rng::random_seed());
+    MatrixF masked;
+    tensor::sub(x_i, fresh, masked);
+    net::send_matrix(ctx.peer(), tag, masked);
+    return fresh;
+  }
+  MatrixF masked = net::recv_matrix_f32(ctx.peer(), tag);
+  MatrixF out;
+  tensor::add(x_i, masked, out);
+  return out;
+}
+
+MatrixF secure_matmul(PartyContext& ctx, const MatrixF& a_i,
+                      const MatrixF& b_i, std::uint64_t comm_key) {
+  const TripletShare t = ctx.triplets().pop_matmul();
+  return secure_matmul(ctx, a_i, b_i, t, comm_key);
+}
+
+}  // namespace psml::mpc

@@ -1,0 +1,70 @@
+// Additive secret sharing (paper Sec. 2.2, Eq. 3).
+//
+// Two algebras are supported:
+//   * float shares — x = x0 + x1 over IEEE float. This is what the
+//     ParSecureML reference implementation uses; reconstruction carries
+//     rounding error proportional to the mask radius.
+//   * ring64 shares — x = x0 + x1 (mod 2^64) over fixed-point-encoded
+//     integers (SecureML's actual algebra; exact reconstruction, information
+//     -theoretic hiding). See ring.hpp for the fixed-point codec.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "rng/rng.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace psml::mpc {
+
+template <typename T>
+struct SharePair {
+  Matrix<T> s0;  // server 0's share
+  Matrix<T> s1;  // server 1's share
+};
+
+// Mask radius for float sharing. Shares are uniform in [-radius, radius];
+// larger radii hide magnitudes better but cost float precision on
+// reconstruction (error ~ radius * eps).
+inline constexpr float kFloatMaskRadius = 16.0f;
+
+// Split `x` into two float shares: s0 uniform random, s1 = x - s0.
+inline SharePair<float> share_float(const MatrixF& x, std::uint64_t seed) {
+  SharePair<float> p;
+  p.s0.resize(x.rows(), x.cols());
+  rng::fill_uniform_par(p.s0, -kFloatMaskRadius, kFloatMaskRadius, seed);
+  tensor::sub(x, p.s0, p.s1);
+  return p;
+}
+
+inline MatrixF reconstruct_float(const MatrixF& s0, const MatrixF& s1) {
+  MatrixF out;
+  tensor::add(s0, s1, out);
+  return out;
+}
+
+// Split `x` (already ring-encoded, see ring.hpp) into two ring shares:
+// s0 uniform over Z_2^64, s1 = x - s0 (mod 2^64). Unconditionally hiding.
+inline SharePair<std::uint64_t> share_ring(const MatrixU64& x,
+                                           std::uint64_t seed) {
+  SharePair<std::uint64_t> p;
+  p.s0.resize(x.rows(), x.cols());
+  rng::fill_uniform_u64_par(p.s0, seed);
+  p.s1.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    p.s1.data()[i] = x.data()[i] - p.s0.data()[i];  // mod 2^64 wrap
+  }
+  return p;
+}
+
+inline MatrixU64 reconstruct_ring(const MatrixU64& s0, const MatrixU64& s1) {
+  PSML_REQUIRE(s0.same_shape(s1), "reconstruct_ring: shape mismatch");
+  MatrixU64 out(s0.rows(), s0.cols());
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    out.data()[i] = s0.data()[i] + s1.data()[i];
+  }
+  return out;
+}
+
+}  // namespace psml::mpc

@@ -1,0 +1,177 @@
+#include "mpc/triplet.hpp"
+
+#include "sgpu/ops.hpp"
+#include "tensor/gemm.hpp"
+
+namespace psml::mpc {
+
+namespace {
+
+// splitmix64 step for the dealer's seed chain.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void TripletStore::set_recycle(bool recycle) {
+  recycle_ = recycle;
+  matmul_cursor_ = 0;
+  elem_cursor_ = 0;
+  act_cursor_ = 0;
+}
+
+TripletShare TripletStore::pop_matmul() {
+  PSML_CHECK_MSG(!matmul_.empty(), "offline matmul triplets exhausted");
+  if (recycle_) {
+    TripletShare t = matmul_[matmul_cursor_];
+    matmul_cursor_ = (matmul_cursor_ + 1) % matmul_.size();
+    return t;
+  }
+  TripletShare t = std::move(matmul_.front());
+  matmul_.pop_front();
+  return t;
+}
+
+TripletShare TripletStore::pop_elementwise() {
+  PSML_CHECK_MSG(!elem_.empty(), "offline elementwise triplets exhausted");
+  if (recycle_) {
+    TripletShare t = elem_[elem_cursor_];
+    elem_cursor_ = (elem_cursor_ + 1) % elem_.size();
+    return t;
+  }
+  TripletShare t = std::move(elem_.front());
+  elem_.pop_front();
+  return t;
+}
+
+ActivationShare TripletStore::pop_activation() {
+  PSML_CHECK_MSG(!act_.empty(), "offline activation material exhausted");
+  if (recycle_) {
+    ActivationShare a = act_[act_cursor_];
+    act_cursor_ = (act_cursor_ + 1) % act_.size();
+    return a;
+  }
+  ActivationShare a = std::move(act_.front());
+  act_.pop_front();
+  return a;
+}
+
+std::size_t TripletStore::bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : matmul_) total += t.u.bytes() + t.v.bytes() + t.z.bytes();
+  for (const auto& t : elem_) total += t.u.bytes() + t.v.bytes() + t.z.bytes();
+  for (const auto& a : act_) {
+    total += a.t_lo.u.bytes() + a.t_lo.v.bytes() + a.t_lo.z.bytes();
+    total += a.t_hi.u.bytes() + a.t_hi.v.bytes() + a.t_hi.z.bytes();
+    total += a.s_lo.bytes() + a.s_hi.bytes();
+  }
+  return total;
+}
+
+TripletDealer::TripletDealer(sgpu::Device* device, DealerOptions opts)
+    : device_(device), opts_(opts) {
+  seed_state_ = opts_.seed != 0 ? opts_.seed : rng::random_seed();
+  if (opts_.use_gpu) {
+    PSML_REQUIRE(device_ != nullptr, "dealer: use_gpu requires a device");
+  }
+}
+
+std::uint64_t TripletDealer::next_seed() {
+  seed_state_ = mix64(seed_state_);
+  return seed_state_;
+}
+
+std::pair<TripletShare, TripletShare> TripletDealer::make_matmul(
+    std::size_t m, std::size_t k, std::size_t n) {
+  MatrixF u(m, k), v(k, n);
+  rng::fill_uniform_par(u, -1.0f, 1.0f, next_seed());
+  rng::fill_uniform_par(v, -1.0f, 1.0f, next_seed());
+
+  MatrixF z;
+  // Profiling-guided adaptive offline (Sec. 4.2): small Z = U x V products
+  // never amortize the device round trip, so they stay on the CPU even in
+  // GPU mode.
+  const bool big_enough = 2.0 * static_cast<double>(m) * k * n >=
+                          static_cast<double>(1 << 21);
+  if (opts_.use_gpu && big_enough) {
+    z = sgpu::device_matmul(*device_, u, v);
+  } else if (opts_.naive_cpu) {
+    z = tensor::matmul_naive(u, v);
+  } else {
+    z = tensor::matmul(u, v);
+  }
+
+  auto su = share_float(u, next_seed());
+  auto sv = share_float(v, next_seed());
+  auto sz = share_float(z, next_seed());
+  return {TripletShare{std::move(su.s0), std::move(sv.s0), std::move(sz.s0)},
+          TripletShare{std::move(su.s1), std::move(sv.s1), std::move(sz.s1)}};
+}
+
+std::pair<TripletShare, TripletShare> TripletDealer::make_elementwise(
+    std::size_t m, std::size_t n) {
+  MatrixF u(m, n), v(m, n), z;
+  rng::fill_uniform_par(u, -1.0f, 1.0f, next_seed());
+  rng::fill_uniform_par(v, -1.0f, 1.0f, next_seed());
+  tensor::hadamard(u, v, z);
+
+  auto su = share_float(u, next_seed());
+  auto sv = share_float(v, next_seed());
+  auto sz = share_float(z, next_seed());
+  return {TripletShare{std::move(su.s0), std::move(sv.s0), std::move(sz.s0)},
+          TripletShare{std::move(su.s1), std::move(sv.s1), std::move(sz.s1)}};
+}
+
+std::pair<ActivationShare, ActivationShare> TripletDealer::make_activation(
+    std::size_t m, std::size_t n) {
+  auto [lo0, lo1] = make_elementwise(m, n);
+  auto [hi0, hi1] = make_elementwise(m, n);
+
+  // Positive multiplicative masks. Bounded away from zero so sign(y * s)
+  // is numerically robust in float.
+  MatrixF s_lo(m, n), s_hi(m, n);
+  rng::fill_uniform_par(s_lo, 0.5f, 2.0f, next_seed());
+  rng::fill_uniform_par(s_hi, 0.5f, 2.0f, next_seed());
+  auto ss_lo = share_float(s_lo, next_seed());
+  auto ss_hi = share_float(s_hi, next_seed());
+
+  ActivationShare a0{std::move(lo0), std::move(hi0), std::move(ss_lo.s0),
+                     std::move(ss_hi.s0)};
+  ActivationShare a1{std::move(lo1), std::move(hi1), std::move(ss_lo.s1),
+                     std::move(ss_hi.s1)};
+  return {std::move(a0), std::move(a1)};
+}
+
+std::pair<TripletStore, TripletStore> TripletDealer::generate(
+    const std::vector<TripletSpec>& plan) {
+  TripletStore st0, st1;
+  for (const auto& spec : plan) {
+    switch (spec.kind) {
+      case TripletKind::kMatMul: {
+        auto [t0, t1] = make_matmul(spec.m, spec.k, spec.n);
+        st0.push_matmul(std::move(t0));
+        st1.push_matmul(std::move(t1));
+        break;
+      }
+      case TripletKind::kElementwise: {
+        auto [t0, t1] = make_elementwise(spec.m, spec.n);
+        st0.push_elementwise(std::move(t0));
+        st1.push_elementwise(std::move(t1));
+        break;
+      }
+      case TripletKind::kActivation: {
+        auto [a0, a1] = make_activation(spec.m, spec.n);
+        st0.push_activation(std::move(a0));
+        st1.push_activation(std::move(a1));
+        break;
+      }
+    }
+  }
+  return {std::move(st0), std::move(st1)};
+}
+
+}  // namespace psml::mpc

@@ -1,0 +1,132 @@
+// Beaver triplet generation — the offline phase (paper Sec. 2.2 Eqs. 2-3 and
+// Fig. 4).
+//
+// For every secure multiplication the dealer (the client, trusted in
+// SecureML's client-aided model) samples random U, V, computes Z = U x V,
+// additively shares all three, and hands share i to server i. The heavy step
+// is Z = U x V, which ParSecureML runs on the GPU (>90 % of offline time,
+// Sec. 4.2); TripletDealer takes a device pointer for exactly that.
+//
+// A TripletPlan is the ordered list of triplet shapes one epoch consumes.
+// Both servers execute the same op sequence (SPMD), so consuming from a FIFO
+// TripletStore keeps them aligned with no extra coordination.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "mpc/share.hpp"
+#include "sgpu/device.hpp"
+#include "tensor/matrix.hpp"
+
+namespace psml::mpc {
+
+enum class TripletKind : std::uint8_t {
+  kMatMul = 0,       // U(mxk), V(kxn), Z = U x V
+  kElementwise = 1,  // U, V, Z = U .* V, all (mxn)
+  kActivation = 2,   // two elementwise triplets + two positive masks (mxn)
+};
+
+struct TripletSpec {
+  TripletKind kind = TripletKind::kMatMul;
+  std::size_t m = 0, k = 0, n = 0;  // kElementwise/kActivation use m, n only
+
+  friend bool operator==(const TripletSpec&, const TripletSpec&) = default;
+};
+
+// One server's share of a multiplication triplet (matmul or elementwise).
+struct TripletShare {
+  MatrixF u, v, z;
+};
+
+// One server's share of the activation-comparison material: Beaver triplets
+// for the two masked products and additive shares of the positive
+// multiplicative masks s1, s2 (see activation.hpp).
+struct ActivationShare {
+  TripletShare t_lo, t_hi;
+  MatrixF s_lo, s_hi;
+};
+
+// FIFO store of one server's offline material.
+//
+// Recycle mode: the paper's compressed-transmission design (Eqs. 11-12)
+// requires the triplet masks U/V of a given operation to stay *fixed across
+// epochs* — E_{j+1} = E_j + dA only holds when U does not change. In recycle
+// mode pops cycle through the stored material (one epoch's worth) instead of
+// consuming it, exactly modelling that reuse. The security trade-off
+// (revealed E-deltas equal data deltas) is inherent to the paper's scheme
+// and documented in DESIGN.md.
+class TripletStore {
+ public:
+  void push_matmul(TripletShare t) { matmul_.push_back(std::move(t)); }
+  void push_elementwise(TripletShare t) { elem_.push_back(std::move(t)); }
+  void push_activation(ActivationShare a) { act_.push_back(std::move(a)); }
+
+  // Enables epoch-cycling pops; cursors restart at the front.
+  void set_recycle(bool recycle);
+  bool recycle() const { return recycle_; }
+
+  TripletShare pop_matmul();
+  TripletShare pop_elementwise();
+  ActivationShare pop_activation();
+
+  bool empty() const { return matmul_.empty() && elem_.empty() && act_.empty(); }
+  std::size_t matmul_size() const { return matmul_.size(); }
+  std::size_t elementwise_size() const { return elem_.size(); }
+  std::size_t activation_size() const { return act_.size(); }
+
+  // Total bytes of offline material held (what the client must transmit).
+  std::size_t bytes() const;
+
+  // Read-only views for serialization (client -> server transmission).
+  const std::deque<TripletShare>& matmuls() const { return matmul_; }
+  const std::deque<TripletShare>& elementwises() const { return elem_; }
+  const std::deque<ActivationShare>& activations() const { return act_; }
+
+ private:
+  std::deque<TripletShare> matmul_;
+  std::deque<TripletShare> elem_;
+  std::deque<ActivationShare> act_;
+  bool recycle_ = false;
+  std::size_t matmul_cursor_ = 0;
+  std::size_t elem_cursor_ = 0;
+  std::size_t act_cursor_ = 0;
+};
+
+struct DealerOptions {
+  // Run Z = U x V on the simulated GPU (the paper's offline acceleration).
+  bool use_gpu = true;
+  // Use the baseline naive CPU GEMM instead (SecureML mode).
+  bool naive_cpu = false;
+  // Deterministic seed; 0 draws a random one.
+  std::uint64_t seed = 0;
+};
+
+class TripletDealer {
+ public:
+  TripletDealer(sgpu::Device* device, DealerOptions opts);
+
+  // Generates the shares of one triplet for both servers.
+  std::pair<TripletShare, TripletShare> make_matmul(std::size_t m,
+                                                    std::size_t k,
+                                                    std::size_t n);
+  std::pair<TripletShare, TripletShare> make_elementwise(std::size_t m,
+                                                         std::size_t n);
+  std::pair<ActivationShare, ActivationShare> make_activation(std::size_t m,
+                                                              std::size_t n);
+
+  // Generates a whole plan into per-server stores.
+  std::pair<TripletStore, TripletStore> generate(
+      const std::vector<TripletSpec>& plan);
+
+ private:
+  std::uint64_t next_seed();
+
+  sgpu::Device* device_;  // may be null when use_gpu is false
+  DealerOptions opts_;
+  std::uint64_t seed_state_;
+};
+
+}  // namespace psml::mpc

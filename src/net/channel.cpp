@@ -1,0 +1,105 @@
+#include "net/channel.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace psml::net {
+
+void Channel::send(Tag tag, std::span<const std::uint8_t> payload) {
+  Message m;
+  m.tag = tag;
+  m.payload.assign(payload.begin(), payload.end());
+  stats_.bytes_sent += payload.size();
+  stats_.messages_sent += 1;
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  send_impl(std::move(m));
+}
+
+namespace {
+
+bool take_by_tag(std::vector<Message>& pending, Tag tag, Message& out) {
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].tag == tag) {
+      out = std::move(pending[i]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Message Channel::recv(Tag tag) {
+  std::unique_lock<std::mutex> lock(recv_mutex_);
+  for (;;) {
+    Message m;
+    if (take_by_tag(pending_, tag, m)) return m;
+    if (drainer_active_) {
+      // Someone else is reading the transport; wait for the buffer to
+      // change or the drainer role to free up.
+      recv_cv_.wait(lock);
+      continue;
+    }
+    // Become the drainer. The lock is dropped while blocked on the
+    // transport so other threads can consume buffered messages.
+    drainer_active_ = true;
+    lock.unlock();
+    Message incoming;
+    try {
+      incoming = recv_impl();
+    } catch (...) {
+      lock.lock();
+      drainer_active_ = false;
+      // Wake everyone: one of them becomes the next drainer and observes
+      // the transport error itself.
+      recv_cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    drainer_active_ = false;
+    stats_.bytes_received += incoming.payload.size();
+    stats_.messages_received += 1;
+    if (incoming.tag == tag) {
+      recv_cv_.notify_all();
+      return incoming;
+    }
+    pending_.push_back(std::move(incoming));
+    recv_cv_.notify_all();
+  }
+}
+
+Message Channel::recv_any() {
+  std::unique_lock<std::mutex> lock(recv_mutex_);
+  for (;;) {
+    if (!pending_.empty()) {
+      Message m = std::move(pending_.front());
+      pending_.erase(pending_.begin());
+      return m;
+    }
+    if (drainer_active_) {
+      recv_cv_.wait(lock);
+      continue;
+    }
+    drainer_active_ = true;
+    lock.unlock();
+    Message incoming;
+    try {
+      incoming = recv_impl();
+    } catch (...) {
+      lock.lock();
+      drainer_active_ = false;
+      recv_cv_.notify_all();
+      throw;
+    }
+    lock.lock();
+    drainer_active_ = false;
+    stats_.bytes_received += incoming.payload.size();
+    stats_.messages_received += 1;
+    recv_cv_.notify_all();
+    return incoming;
+  }
+}
+
+}  // namespace psml::net

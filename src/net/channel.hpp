@@ -1,0 +1,110 @@
+// Point-to-point message transport between protocol endpoints.
+//
+// This is the MPI substitute: the ParSecureML protocol only needs tagged,
+// ordered, reliable point-to-point messages between {client, server0,
+// server1}. Two backends implement the interface:
+//   LocalChannel — in-process queues (tests, benchmarks, single-machine runs)
+//   TcpChannel   — loopback/LAN sockets (two-process deployment example)
+//
+// Every channel counts traffic; the compression experiment (Fig. 16) reads
+// these counters.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace psml::net {
+
+// Message tags; the high bits identify the protocol step, low bits carry a
+// sequence component where needed.
+using Tag = std::uint32_t;
+
+struct Message {
+  Tag tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct TrafficStats {
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> messages_sent{0};
+  std::atomic<std::uint64_t> messages_received{0};
+
+  void reset() {
+    bytes_sent = 0;
+    bytes_received = 0;
+    messages_sent = 0;
+    messages_received = 0;
+  }
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Sends one tagged message. Thread-safe against concurrent send() calls.
+  void send(Tag tag, std::span<const std::uint8_t> payload);
+
+  // Blocking receive of the next message carrying `tag`. Messages with other
+  // tags received in the meantime are buffered and returned by their own
+  // recv() calls — this is what lets the double pipeline interleave protocol
+  // steps without strict global ordering.
+  //
+  // Concurrency contract: multiple threads may block in recv() for different
+  // tags. The implementation never holds the receive lock while blocked on
+  // the transport (one thread drains at a time; the rest wait on a condition
+  // variable over the reorder buffer). Holding the lock across the blocking
+  // drain would deadlock the double pipeline: each party's main thread can
+  // end up waiting for a message whose sender is the peer's *other* thread,
+  // blocked behind the peer's held lock — a 4-thread cross-party cycle.
+  Message recv(Tag tag);
+
+  // Blocking receive of the next message regardless of tag.
+  Message recv_any();
+
+  // Closes the transport; pending and future recv() calls throw NetworkError.
+  virtual void close() = 0;
+
+  // True when send() can block on peer backpressure (e.g. TCP socket
+  // buffers). Protocol code uses this to decide whether a concurrent
+  // exchange needs a separate sender thread.
+  virtual bool send_may_block() const { return false; }
+
+  const TrafficStats& stats() const { return stats_; }
+  TrafficStats& stats() { return stats_; }
+
+ protected:
+  // Backend hooks.
+  virtual void send_impl(Message&& m) = 0;
+  // Returns the next message in arrival order; throws NetworkError when the
+  // peer is gone.
+  virtual Message recv_impl() = 0;
+
+  TrafficStats stats_;
+
+ private:
+  // Reorder buffer for tag-selective receive. recv_mutex_ guards pending_
+  // and drainer_active_; it is NEVER held across the blocking recv_impl()
+  // call (see recv() contract above). recv_cv_ wakes waiters whenever the
+  // buffer changes or the drainer role frees up.
+  std::vector<Message> pending_;
+  bool drainer_active_ = false;
+  std::condition_variable recv_cv_;
+  std::mutex recv_mutex_;
+  std::mutex send_mutex_;
+};
+
+// A matched pair of channel endpoints (A talks to B).
+struct ChannelPair {
+  std::shared_ptr<Channel> a;
+  std::shared_ptr<Channel> b;
+};
+
+}  // namespace psml::net

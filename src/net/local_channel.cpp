@@ -1,0 +1,64 @@
+#include "net/local_channel.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace psml::net {
+
+ChannelPair LocalChannel::make_pair() {
+  auto q_ab = std::make_shared<Queue>();
+  auto q_ba = std::make_shared<Queue>();
+  // Private constructor: can't use make_shared.
+  std::shared_ptr<Channel> a(new LocalChannel(q_ab, q_ba));
+  std::shared_ptr<Channel> b(new LocalChannel(q_ba, q_ab));
+  return {std::move(a), std::move(b)};
+}
+
+void LocalChannel::send_impl(Message&& m) {
+  {
+    std::lock_guard<std::mutex> lock(tx_->mutex);
+    if (tx_->closed) {
+      throw NetworkError("LocalChannel: send on closed channel");
+    }
+    tx_->items.push_back(std::move(m));
+  }
+  tx_->cv.notify_one();
+}
+
+Message LocalChannel::recv_impl() {
+  std::unique_lock<std::mutex> lock(rx_->mutex);
+  // Debug aid (PSML_RECV_DEBUG=1): report stalls instead of waiting
+  // silently — used to diagnose protocol-level distributed deadlocks.
+  static const bool debug = std::getenv("PSML_RECV_DEBUG") != nullptr;
+  if (debug) {
+    int stalls = 0;
+    while (!rx_->cv.wait_for(lock, std::chrono::seconds(5), [this] {
+      return !rx_->items.empty() || rx_->closed;
+    })) {
+      std::fprintf(stderr, "[psml recv stall #%d] thread %p queue=%p empty\n",
+                   ++stalls, static_cast<void*>(&lock),
+                   static_cast<void*>(rx_.get()));
+    }
+  } else {
+    rx_->cv.wait(lock, [this] { return !rx_->items.empty() || rx_->closed; });
+  }
+  if (rx_->items.empty()) {
+    throw NetworkError("LocalChannel: peer closed");
+  }
+  Message m = std::move(rx_->items.front());
+  rx_->items.pop_front();
+  return m;
+}
+
+void LocalChannel::close() {
+  for (auto& q : {tx_, rx_}) {
+    {
+      std::lock_guard<std::mutex> lock(q->mutex);
+      q->closed = true;
+    }
+    q->cv.notify_all();
+  }
+}
+
+}  // namespace psml::net

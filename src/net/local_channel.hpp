@@ -1,0 +1,40 @@
+// In-process channel backend: two endpoints sharing a pair of blocking
+// queues. Used by tests, benchmarks, and the single-machine 3-party harness.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "net/channel.hpp"
+
+namespace psml::net {
+
+class LocalChannel final : public Channel {
+ public:
+  // Creates a connected pair of endpoints.
+  static ChannelPair make_pair();
+
+  void close() override;
+
+ protected:
+  void send_impl(Message&& m) override;
+  Message recv_impl() override;
+
+ private:
+  struct Queue {
+    std::deque<Message> items;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool closed = false;
+  };
+
+  LocalChannel(std::shared_ptr<Queue> tx, std::shared_ptr<Queue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  std::shared_ptr<Queue> tx_;
+  std::shared_ptr<Queue> rx_;
+};
+
+}  // namespace psml::net

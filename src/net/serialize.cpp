@@ -1,0 +1,124 @@
+#include "net/serialize.hpp"
+
+#include <cstring>
+
+namespace psml::net {
+
+namespace {
+
+struct MatrixHeader {
+  std::uint8_t kind;
+  std::uint8_t pad[3] = {0, 0, 0};
+  std::uint32_t rows;
+  std::uint32_t cols;
+};
+static_assert(sizeof(MatrixHeader) == 12);
+
+template <typename T>
+std::vector<std::uint8_t> encode_dense(const Matrix<T>& m, PayloadKind kind) {
+  std::vector<std::uint8_t> buf(sizeof(MatrixHeader) + m.bytes());
+  const MatrixHeader h{static_cast<std::uint8_t>(kind),
+                       {0, 0, 0},
+                       static_cast<std::uint32_t>(m.rows()),
+                       static_cast<std::uint32_t>(m.cols())};
+  std::memcpy(buf.data(), &h, sizeof(h));
+  std::memcpy(buf.data() + sizeof(h), m.data(), m.bytes());
+  return buf;
+}
+
+MatrixHeader read_header(const std::uint8_t* data, std::size_t size) {
+  if (size < sizeof(MatrixHeader)) {
+    throw ProtocolError("matrix decode: buffer shorter than header");
+  }
+  MatrixHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_matrix(const MatrixF& m) {
+  return encode_dense(m, PayloadKind::kDenseF32);
+}
+
+std::vector<std::uint8_t> encode_matrix(const MatrixU64& m) {
+  return encode_dense(m, PayloadKind::kDenseU64);
+}
+
+std::vector<std::uint8_t> encode_csr(const psml::sparse::Csr& m) {
+  auto body = m.serialize();
+  std::vector<std::uint8_t> buf(sizeof(MatrixHeader) + body.size());
+  const MatrixHeader h{static_cast<std::uint8_t>(PayloadKind::kCsrF32),
+                       {0, 0, 0},
+                       static_cast<std::uint32_t>(m.rows()),
+                       static_cast<std::uint32_t>(m.cols())};
+  std::memcpy(buf.data(), &h, sizeof(h));
+  std::memcpy(buf.data() + sizeof(h), body.data(), body.size());
+  return buf;
+}
+
+PayloadKind peek_kind(const std::uint8_t* data, std::size_t size) {
+  return static_cast<PayloadKind>(read_header(data, size).kind);
+}
+
+MatrixF decode_matrix_f32(const std::uint8_t* data, std::size_t size) {
+  const MatrixHeader h = read_header(data, size);
+  const std::uint8_t* body = data + sizeof(MatrixHeader);
+  const std::size_t body_size = size - sizeof(MatrixHeader);
+  switch (static_cast<PayloadKind>(h.kind)) {
+    case PayloadKind::kDenseF32: {
+      MatrixF m(h.rows, h.cols);
+      if (body_size != m.bytes()) {
+        throw ProtocolError("matrix decode: dense payload size mismatch");
+      }
+      std::memcpy(m.data(), body, body_size);
+      return m;
+    }
+    case PayloadKind::kCsrF32: {
+      auto csr = psml::sparse::Csr::deserialize(body, body_size);
+      if (csr.rows() != h.rows || csr.cols() != h.cols) {
+        throw ProtocolError("matrix decode: CSR header/dims mismatch");
+      }
+      return csr.to_dense();
+    }
+    default:
+      throw ProtocolError("matrix decode: expected f32 payload");
+  }
+}
+
+MatrixU64 decode_matrix_u64(const std::uint8_t* data, std::size_t size) {
+  const MatrixHeader h = read_header(data, size);
+  if (static_cast<PayloadKind>(h.kind) != PayloadKind::kDenseU64) {
+    throw ProtocolError("matrix decode: expected u64 payload");
+  }
+  MatrixU64 m(h.rows, h.cols);
+  if (size - sizeof(MatrixHeader) != m.bytes()) {
+    throw ProtocolError("matrix decode: u64 payload size mismatch");
+  }
+  std::memcpy(m.data(), data + sizeof(MatrixHeader), m.bytes());
+  return m;
+}
+
+void send_matrix(Channel& ch, Tag tag, const MatrixF& m) {
+  ch.send(tag, encode_matrix(m));
+}
+
+void send_matrix(Channel& ch, Tag tag, const MatrixU64& m) {
+  ch.send(tag, encode_matrix(m));
+}
+
+void send_csr(Channel& ch, Tag tag, const psml::sparse::Csr& m) {
+  ch.send(tag, encode_csr(m));
+}
+
+MatrixF recv_matrix_f32(Channel& ch, Tag tag) {
+  const Message m = ch.recv(tag);
+  return decode_matrix_f32(m.payload.data(), m.payload.size());
+}
+
+MatrixU64 recv_matrix_u64(Channel& ch, Tag tag) {
+  const Message m = ch.recv(tag);
+  return decode_matrix_u64(m.payload.data(), m.payload.size());
+}
+
+}  // namespace psml::net

@@ -1,0 +1,41 @@
+// Matrix (de)serialization over channels.
+//
+// Wire format of a dense matrix message:
+//   u8 kind (0 = dense f32, 1 = csr f32, 2 = dense u64) | u32 rows | u32 cols
+//   | data
+// The kind byte is what lets the compressed-transmission layer switch
+// between dense and CSR payloads per message without a side channel.
+#pragma once
+
+#include <cstdint>
+
+#include "net/channel.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace psml::net {
+
+enum class PayloadKind : std::uint8_t {
+  kDenseF32 = 0,
+  kCsrF32 = 1,
+  kDenseU64 = 2,
+};
+
+std::vector<std::uint8_t> encode_matrix(const MatrixF& m);
+std::vector<std::uint8_t> encode_matrix(const MatrixU64& m);
+std::vector<std::uint8_t> encode_csr(const psml::sparse::Csr& m);
+
+// Decodes either a dense or CSR float payload into a dense matrix.
+MatrixF decode_matrix_f32(const std::uint8_t* data, std::size_t size);
+MatrixU64 decode_matrix_u64(const std::uint8_t* data, std::size_t size);
+// Returns the payload kind without decoding.
+PayloadKind peek_kind(const std::uint8_t* data, std::size_t size);
+
+// Channel helpers.
+void send_matrix(Channel& ch, Tag tag, const MatrixF& m);
+void send_matrix(Channel& ch, Tag tag, const MatrixU64& m);
+void send_csr(Channel& ch, Tag tag, const psml::sparse::Csr& m);
+MatrixF recv_matrix_f32(Channel& ch, Tag tag);
+MatrixU64 recv_matrix_u64(Channel& ch, Tag tag);
+
+}  // namespace psml::net

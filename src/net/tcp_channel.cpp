@@ -1,0 +1,157 @@
+#include "net/tcp_channel.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace psml::net {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x50534d4cu;  // "PSML"
+
+struct FrameHeader {
+  std::uint32_t magic;
+  std::uint32_t tag;
+  std::uint64_t payload_len;
+};
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetworkError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::shared_ptr<Channel> TcpChannel::listen(std::uint16_t port) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(lfd);
+    throw_errno("bind");
+  }
+  if (::listen(lfd, 1) < 0) {
+    ::close(lfd);
+    throw_errno("listen");
+  }
+  const int fd = ::accept(lfd, nullptr, nullptr);
+  ::close(lfd);
+  if (fd < 0) throw_errno("accept");
+  set_nodelay(fd);
+  return std::shared_ptr<Channel>(new TcpChannel(fd));
+}
+
+std::shared_ptr<Channel> TcpChannel::connect(const std::string& host,
+                                             std::uint16_t port,
+                                             double timeout_sec) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0) {
+    throw NetworkError("getaddrinfo failed for " + host);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_sec);
+  int fd = -1;
+  for (;;) {
+    fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    if (fd < 0) {
+      ::freeaddrinfo(res);
+      throw_errno("socket");
+    }
+    if (::connect(fd, res->ai_addr, res->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::freeaddrinfo(res);
+      throw NetworkError("connect to " + host + ":" + port_str + " timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::freeaddrinfo(res);
+  set_nodelay(fd);
+  return std::shared_ptr<Channel>(new TcpChannel(fd));
+}
+
+TcpChannel::~TcpChannel() { close(); }
+
+void TcpChannel::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpChannel::write_all(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void TcpChannel::read_all(void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::recv(fd_, p, size, 0);
+    if (n == 0) throw NetworkError("peer closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void TcpChannel::send_impl(Message&& m) {
+  if (fd_ < 0) throw NetworkError("TcpChannel: send on closed channel");
+  const FrameHeader h{kFrameMagic, m.tag, m.payload.size()};
+  write_all(&h, sizeof(h));
+  if (!m.payload.empty()) write_all(m.payload.data(), m.payload.size());
+}
+
+Message TcpChannel::recv_impl() {
+  if (fd_ < 0) throw NetworkError("TcpChannel: recv on closed channel");
+  FrameHeader h{};
+  read_all(&h, sizeof(h));
+  if (h.magic != kFrameMagic) {
+    throw NetworkError("TcpChannel: bad frame magic (corrupt stream?)");
+  }
+  Message m;
+  m.tag = h.tag;
+  m.payload.resize(h.payload_len);
+  if (h.payload_len > 0) read_all(m.payload.data(), h.payload_len);
+  return m;
+}
+
+}  // namespace psml::net

@@ -1,0 +1,45 @@
+// TCP channel backend for multi-process deployment.
+//
+// Frame format on the wire (little-endian):
+//   u32 magic | u32 tag | u64 payload_len | payload bytes
+// Blocking socket I/O with full-read/full-write loops; TCP_NODELAY set so
+// the small reconstruct-phase messages are not Nagle-delayed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/channel.hpp"
+
+namespace psml::net {
+
+class TcpChannel final : public Channel {
+ public:
+  // Listens on `port` (all interfaces) and accepts exactly one peer.
+  static std::shared_ptr<Channel> listen(std::uint16_t port);
+
+  // Connects to host:port, retrying for up to `timeout_sec` so either side
+  // can start first.
+  static std::shared_ptr<Channel> connect(const std::string& host,
+                                          std::uint16_t port,
+                                          double timeout_sec = 10.0);
+
+  ~TcpChannel() override;
+  void close() override;
+  bool send_may_block() const override { return true; }
+
+ protected:
+  void send_impl(Message&& m) override;
+  Message recv_impl() override;
+
+ private:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+
+  void write_all(const void* data, std::size_t size);
+  void read_all(void* data, std::size_t size);
+
+  int fd_ = -1;
+};
+
+}  // namespace psml::net

@@ -1,0 +1,14 @@
+// Client -> server transmission of offline material (triplet stores and data
+// shares) over a Channel. This is the "transmit" half of the offline phase in
+// Fig. 2 — real serialization over the transport so its cost is measured.
+#pragma once
+
+#include "mpc/triplet.hpp"
+#include "net/channel.hpp"
+
+namespace psml::parsecureml {
+
+void send_store(net::Channel& ch, const mpc::TripletStore& store);
+mpc::TripletStore recv_store(net::Channel& ch);
+
+}  // namespace psml::parsecureml

@@ -1,0 +1,56 @@
+// Execution lanes for the layer-level pipeline (paper Sec. 4.3, Fig. 6).
+//
+// The double pipeline's second level overlaps the *reconstruct* step of one
+// layer (CPU + network bound) with the *GPU operation* of a neighbouring
+// layer. An AsyncLane is a single-worker ordered executor: work submitted to
+// a lane runs FIFO on the lane's thread, and the caller gets a future. The
+// secure trainer uses one lane for reconstruct work while GPU operations run
+// on the calling thread/device streams; because each lane is strictly
+// ordered, the two servers' message sequences stay aligned.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+namespace psml::pipeline {
+
+class AsyncLane {
+ public:
+  AsyncLane();
+  ~AsyncLane();
+
+  AsyncLane(const AsyncLane&) = delete;
+  AsyncLane& operator=(const AsyncLane&) = delete;
+
+  // Submits a callable; returns a future of its result. Tasks run FIFO.
+  template <typename F>
+  auto run(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  // Blocks until all submitted work has run.
+  void drain();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  bool stopping_ = false;
+  bool busy_ = false;
+  std::thread worker_;
+};
+
+}  // namespace psml::pipeline

@@ -1,0 +1,120 @@
+#include "profile/adaptive.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "rng/rng.hpp"
+#include "sgpu/ops.hpp"
+#include "tensor/gemm.hpp"
+
+namespace psml::profile {
+
+namespace {
+
+double flops_of(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+double moved_bytes(std::size_t m, std::size_t n, std::size_t k) {
+  return static_cast<double>((m * k + k * n + m * n) * sizeof(float));
+}
+
+double time_cpu_gemm(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  Timer t;
+  tensor::gemm_parallel(1.0f, a, tensor::Trans::kNo, b, tensor::Trans::kNo,
+                        0.0f, c);
+  return t.seconds();
+}
+
+double time_gpu_gemm(sgpu::Device& dev, const MatrixF& a, const MatrixF& b) {
+  Timer t;
+  (void)sgpu::device_matmul(dev, a, b);
+  return t.seconds();
+}
+
+}  // namespace
+
+void AdaptiveDispatch::calibrate(sgpu::Device& dev) {
+  // Two probe sizes per engine; the affine GPU model needs two points, the
+  // linear CPU model uses the larger probe only (less timer noise).
+  const std::size_t small_n = 96;
+  const std::size_t large_n = 384;
+
+  MatrixF a_small(small_n, small_n), b_small(small_n, small_n);
+  MatrixF a_large(large_n, large_n), b_large(large_n, large_n);
+  rng::fill_uniform(a_small, -1.0f, 1.0f);
+  rng::fill_uniform(b_small, -1.0f, 1.0f);
+  rng::fill_uniform(a_large, -1.0f, 1.0f);
+  rng::fill_uniform(b_large, -1.0f, 1.0f);
+
+  // Warm-up both engines (thread pools, device streams).
+  MatrixF c_small(small_n, small_n);
+  time_cpu_gemm(a_small, b_small, c_small);
+  time_gpu_gemm(dev, a_small, b_small);
+
+  // Median-of-3 timings.
+  auto median3 = [](double x, double y, double z) {
+    return std::max(std::min(x, y), std::min(std::max(x, y), z));
+  };
+
+  MatrixF c_large(large_n, large_n);
+  const double cpu_large =
+      median3(time_cpu_gemm(a_large, b_large, c_large),
+              time_cpu_gemm(a_large, b_large, c_large),
+              time_cpu_gemm(a_large, b_large, c_large));
+  const double gpu_small = median3(time_gpu_gemm(dev, a_small, b_small),
+                                   time_gpu_gemm(dev, a_small, b_small),
+                                   time_gpu_gemm(dev, a_small, b_small));
+  const double gpu_large = median3(time_gpu_gemm(dev, a_large, b_large),
+                                   time_gpu_gemm(dev, a_large, b_large),
+                                   time_gpu_gemm(dev, a_large, b_large));
+
+  const double f_small = flops_of(small_n, small_n, small_n);
+  const double f_large = flops_of(large_n, large_n, large_n);
+  const double bytes_small = moved_bytes(small_n, small_n, small_n);
+  const double bytes_large = moved_bytes(large_n, large_n, large_n);
+
+  Model m;
+  m.cpu_sec_per_flop = cpu_large / f_large;
+  // Split the GPU affine fit: attribute the configured PCIe bandwidth to the
+  // byte term when present, else fold transfers into the flop slope.
+  const double gbps = dev.config().pcie_gbps;
+  m.gpu_sec_per_byte = gbps > 0.0 ? 1.0 / (gbps * 1e9) : 0.0;
+  const double t_small = std::max(1e-9, gpu_small - bytes_small * m.gpu_sec_per_byte);
+  const double t_large = std::max(1e-9, gpu_large - bytes_large * m.gpu_sec_per_byte);
+  m.gpu_sec_per_flop = std::max(0.0, (t_large - t_small) / (f_large - f_small));
+  m.gpu_overhead_sec = std::max(0.0, t_small - m.gpu_sec_per_flop * f_small);
+  m.calibrated = true;
+  model_ = m;
+}
+
+DispatchDecision AdaptiveDispatch::decide(std::size_t m, std::size_t n,
+                                          std::size_t k) const {
+  DispatchDecision d;
+  if (!model_.calibrated) {
+    // Uncalibrated fallback: a static flop threshold. 2^21 flops ~ a 128^3
+    // multiply, the regime where transfer overhead stops dominating.
+    d.use_gpu = flops_of(m, n, k) >= static_cast<double>(1 << 21);
+    return d;
+  }
+  const double f = flops_of(m, n, k);
+  const double bytes = moved_bytes(m, n, k);
+  d.est_cpu_sec = model_.cpu_sec_per_flop * f;
+  d.est_gpu_sec = model_.gpu_overhead_sec + model_.gpu_sec_per_flop * f +
+                  model_.gpu_sec_per_byte * bytes;
+  d.use_gpu = d.est_gpu_sec < d.est_cpu_sec;
+  return d;
+}
+
+AdaptiveDispatch& AdaptiveDispatch::global() {
+  static AdaptiveDispatch dispatch = [] {
+    AdaptiveDispatch d;
+    d.calibrate(sgpu::Device::global());
+    return d;
+  }();
+  return dispatch;
+}
+
+}  // namespace psml::profile

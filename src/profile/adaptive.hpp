@@ -1,0 +1,55 @@
+// Profiling-guided adaptive GPU utilization (paper Sec. 4.2).
+//
+// The dispatcher answers one question per GEMM: run it on the CPU or ship it
+// to the (simulated) GPU? It calibrates both engines with a short profiling
+// run — small/medium probe multiplies on each — and fits simple cost models:
+//   t_cpu(flops) = a_cpu * flops
+//   t_gpu(flops, bytes) = overhead + a_gpu * flops + bytes / pcie_bw
+// The GPU model carries a fixed launch/transfer overhead term, which is what
+// produces the paper's small-workload-on-CPU / large-workload-on-GPU
+// crossover (Fig. 17, Sec. 7.7 "Limitation").
+#pragma once
+
+#include <cstddef>
+
+#include "sgpu/device.hpp"
+
+namespace psml::profile {
+
+struct DispatchDecision {
+  bool use_gpu = false;
+  double est_cpu_sec = 0.0;
+  double est_gpu_sec = 0.0;
+};
+
+class AdaptiveDispatch {
+ public:
+  struct Model {
+    double cpu_sec_per_flop = 0.0;
+    double gpu_sec_per_flop = 0.0;
+    double gpu_overhead_sec = 0.0;       // launch + sync latency
+    double gpu_sec_per_byte = 0.0;       // effective PCIe cost
+    bool calibrated = false;
+  };
+
+  AdaptiveDispatch() = default;
+
+  // Runs probe GEMMs on both engines and fits the model. Takes tens of
+  // milliseconds; call once per process (the framework does this lazily).
+  void calibrate(sgpu::Device& dev);
+
+  // Decision for C(m,n) = A(m,k) x B(k,n), counting the H2D/D2H bytes the
+  // GPU path would move.
+  DispatchDecision decide(std::size_t m, std::size_t n, std::size_t k) const;
+
+  const Model& model() const { return model_; }
+  void set_model(const Model& m) { model_ = m; }
+
+  // Lazily calibrated process-wide dispatcher on the global device.
+  static AdaptiveDispatch& global();
+
+ private:
+  Model model_;
+};
+
+}  // namespace psml::profile

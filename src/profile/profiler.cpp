@@ -1,0 +1,33 @@
+#include "profile/profiler.hpp"
+
+namespace psml::profile {
+
+void Profiler::add(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& s = phases_[phase];
+  s.total_sec += seconds;
+  s.count += 1;
+}
+
+double Profiler::total(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(phase);
+  return it == phases_.end() ? 0.0 : it->second.total_sec;
+}
+
+std::map<std::string, PhaseStat> Profiler::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  phases_.clear();
+}
+
+Profiler& Profiler::global() {
+  static Profiler p;
+  return p;
+}
+
+}  // namespace psml::profile

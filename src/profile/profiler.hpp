@@ -1,0 +1,51 @@
+// Step profiler: named wall-time accumulators for the protocol phases
+// (offline generate / offline transmit / online compute1 / communicate /
+// compute2 ...). The Fig. 2 and Table 3 benchmarks read their breakdowns
+// from here.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/timer.hpp"
+
+namespace psml::profile {
+
+struct PhaseStat {
+  double total_sec = 0.0;
+  std::uint64_t count = 0;
+};
+
+class Profiler {
+ public:
+  void add(const std::string& phase, double seconds);
+
+  double total(const std::string& phase) const;
+  std::map<std::string, PhaseStat> report() const;
+  void reset();
+
+  // Process-wide instance used by the framework drivers.
+  static Profiler& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, PhaseStat> phases_;
+};
+
+// RAII phase scope.
+class ScopedPhase {
+ public:
+  ScopedPhase(Profiler& profiler, std::string phase)
+      : profiler_(profiler), phase_(std::move(phase)) {}
+  ~ScopedPhase() { profiler_.add(phase_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Profiler& profiler_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace psml::profile

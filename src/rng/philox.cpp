@@ -1,0 +1,94 @@
+#include "rng/philox.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace psml::rng {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void philox_round(std::array<std::uint32_t, 4>& ctr, std::uint32_t k0,
+                         std::uint32_t k1) {
+  const std::uint64_t p0 = static_cast<std::uint64_t>(kPhiloxM0) * ctr[0];
+  const std::uint64_t p1 = static_cast<std::uint64_t>(kPhiloxM1) * ctr[2];
+  const std::uint32_t hi0 = static_cast<std::uint32_t>(p0 >> 32);
+  const std::uint32_t lo0 = static_cast<std::uint32_t>(p0);
+  const std::uint32_t hi1 = static_cast<std::uint32_t>(p1 >> 32);
+  const std::uint32_t lo1 = static_cast<std::uint32_t>(p1);
+  ctr = {hi1 ^ ctr[1] ^ k0, lo1, hi0 ^ ctr[3] ^ k1, lo0};
+}
+
+inline float u32_to_unit_float(std::uint32_t x) {
+  // 24 high bits -> [0, 1) with full float precision.
+  return static_cast<float>(x >> 8) * (1.0f / 16777216.0f);
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> Philox4x32::block(std::uint64_t ctr) const {
+  std::array<std::uint32_t, 4> c = {static_cast<std::uint32_t>(ctr),
+                                    static_cast<std::uint32_t>(ctr >> 32), 0u,
+                                    0u};
+  std::uint32_t k0 = static_cast<std::uint32_t>(key);
+  std::uint32_t k1 = static_cast<std::uint32_t>(key >> 32);
+  for (int round = 0; round < 10; ++round) {
+    philox_round(c, k0, k1);
+    k0 += kPhiloxW0;
+    k1 += kPhiloxW1;
+  }
+  return c;
+}
+
+void philox_fill_uniform(MatrixF& m, float lo, float hi, std::uint64_t seed) {
+  const Philox4x32 gen(seed);
+  float* p = m.data();
+  const std::size_t n = m.size();
+  const float range = hi - lo;
+  for (std::size_t i = 0; i < n; i += 4) {
+    const auto blk = gen.block(i / 4);
+    const std::size_t lim = std::min<std::size_t>(4, n - i);
+    for (std::size_t j = 0; j < lim; ++j) {
+      p[i + j] = lo + range * u32_to_unit_float(blk[j]);
+    }
+  }
+}
+
+void philox_fill_uniform_par(MatrixF& m, float lo, float hi,
+                             std::uint64_t seed) {
+  const Philox4x32 gen(seed);
+  float* p = m.data();
+  const std::size_t n = m.size();
+  const float range = hi - lo;
+  parallel_for(
+      0, (n + 3) / 4,
+      [&](std::size_t blo, std::size_t bhi) {
+        for (std::size_t blk_i = blo; blk_i < bhi; ++blk_i) {
+          const auto blk = gen.block(blk_i);
+          const std::size_t base = blk_i * 4;
+          const std::size_t lim = std::min<std::size_t>(4, n - base);
+          for (std::size_t j = 0; j < lim; ++j) {
+            p[base + j] = lo + range * u32_to_unit_float(blk[j]);
+          }
+        }
+      },
+      /*grain=*/kFloatsPerCacheLine);
+}
+
+void philox_fill_u64(MatrixU64& m, std::uint64_t seed) {
+  const Philox4x32 gen(seed);
+  std::uint64_t* p = m.data();
+  const std::size_t n = m.size();
+  for (std::size_t i = 0; i < n; i += 2) {
+    const auto blk = gen.block(i / 2);
+    p[i] = (static_cast<std::uint64_t>(blk[0]) << 32) | blk[1];
+    if (i + 1 < n) {
+      p[i + 1] = (static_cast<std::uint64_t>(blk[2]) << 32) | blk[3];
+    }
+  }
+}
+
+}  // namespace psml::rng

@@ -1,0 +1,37 @@
+// Philox4x32-10 counter-based PRNG (Salmon et al., SC'11).
+//
+// This is the generator family cuRAND uses by default; it is stateless per
+// call (output = f(key, counter)), which is why it maps perfectly onto GPU
+// threads. We use it as the device-side RNG of the simulated GPU, standing in
+// for cuRAND in the Fig. 7 experiment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace psml::rng {
+
+struct Philox4x32 {
+  std::uint64_t key;
+
+  explicit Philox4x32(std::uint64_t seed) : key(seed) {}
+
+  // Generates the 4 x 32-bit block for counter value `ctr`.
+  std::array<std::uint32_t, 4> block(std::uint64_t ctr) const;
+};
+
+// Uniform floats in [lo, hi) from counters [0, m.size()); deterministic in
+// `seed` and trivially parallel (each element depends only on its index).
+void philox_fill_uniform(MatrixF& m, float lo, float hi, std::uint64_t seed);
+
+// Parallel version running on the global thread pool (the "device kernel"
+// without the device; sgpu wraps this in a launch).
+void philox_fill_uniform_par(MatrixF& m, float lo, float hi,
+                             std::uint64_t seed);
+
+// Raw 64-bit outputs, one per element.
+void philox_fill_u64(MatrixU64& m, std::uint64_t seed);
+
+}  // namespace psml::rng

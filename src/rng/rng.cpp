@@ -1,0 +1,140 @@
+#include "rng/rng.hpp"
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace psml::rng {
+
+namespace {
+
+// splitmix64 — used to derive block seeds and to mix seed material.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint32_t initial_thread_seed() {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<std::uint32_t>(mix64(now + tid));
+}
+
+// Block size for deterministic parallel fills: a multiple of the cache line
+// so writer threads never share a line.
+constexpr std::size_t kFillBlock = 4096;
+
+template <typename T, typename MakeDist>
+void fill_par_impl(Matrix<T>& m, std::uint64_t seed, MakeDist make_dist) {
+  T* p = m.data();
+  const std::size_t n = m.size();
+  parallel_for(
+      0, (n + kFillBlock - 1) / kFillBlock,
+      [&](std::size_t blo, std::size_t bhi) {
+        for (std::size_t blk = blo; blk < bhi; ++blk) {
+          std::mt19937 gen(static_cast<std::uint32_t>(mix64(seed + blk)));
+          auto dist = make_dist();
+          const std::size_t lo = blk * kFillBlock;
+          const std::size_t hi = std::min(lo + kFillBlock, n);
+          for (std::size_t i = lo; i < hi; ++i) p[i] = static_cast<T>(dist(gen));
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace
+
+std::mt19937& thread_generator() {
+  // Constructed once per thread, destroyed at thread exit — the paper's
+  // "static thread local" MT19937 design.
+  static thread_local std::mt19937 gen(initial_thread_seed());
+  return gen;
+}
+
+void seed_thread_generator(std::uint32_t seed) { thread_generator().seed(seed); }
+
+void fill_uniform(MatrixF& m, float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  auto& gen = thread_generator();
+  float* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) p[i] = dist(gen);
+}
+
+void fill_normal(MatrixF& m, float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  auto& gen = thread_generator();
+  float* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) p[i] = dist(gen);
+}
+
+void fill_bernoulli(MatrixF& m, double p_one) {
+  std::bernoulli_distribution dist(p_one);
+  auto& gen = thread_generator();
+  float* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) p[i] = dist(gen) ? 1.0f : 0.0f;
+}
+
+void fill_uniform_u64(MatrixU64& m) {
+  auto& gen = thread_generator();
+  std::uint64_t* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    p[i] = (static_cast<std::uint64_t>(gen()) << 32) | gen();
+  }
+}
+
+void fill_uniform_par(MatrixF& m, float lo, float hi, std::uint64_t seed) {
+  fill_par_impl(m, seed, [=] {
+    return std::uniform_real_distribution<float>(lo, hi);
+  });
+}
+
+void fill_normal_par(MatrixF& m, float mean, float stddev, std::uint64_t seed) {
+  fill_par_impl(m, seed, [=] {
+    return std::normal_distribution<float>(mean, stddev);
+  });
+}
+
+void fill_uniform_u64_par(MatrixU64& m, std::uint64_t seed) {
+  std::uint64_t* p = m.data();
+  const std::size_t n = m.size();
+  parallel_for(
+      0, (n + kFillBlock - 1) / kFillBlock,
+      [&](std::size_t blo, std::size_t bhi) {
+        for (std::size_t blk = blo; blk < bhi; ++blk) {
+          std::mt19937_64 gen(mix64(seed + blk));
+          const std::size_t lo = blk * kFillBlock;
+          const std::size_t hi = std::min(lo + kFillBlock, n);
+          for (std::size_t i = lo; i < hi; ++i) p[i] = gen();
+        }
+      },
+      /*grain=*/1);
+}
+
+void fill_uniform_locked(MatrixF& m, float lo, float hi) {
+  static std::mutex mtx;
+  static std::mt19937 gen(12345);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  float* p = m.data();
+  const std::size_t n = m.size();
+  parallel_for(0, n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      std::lock_guard<std::mutex> lock(mtx);
+      p[i] = dist(gen);
+    }
+  });
+}
+
+std::uint64_t random_seed() {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  std::random_device rd;
+  return mix64(now ^ (static_cast<std::uint64_t>(rd()) << 32 | rd()));
+}
+
+}  // namespace psml::rng

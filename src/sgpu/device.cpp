@@ -1,0 +1,137 @@
+#include "sgpu/device.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/timer.hpp"
+
+namespace psml::sgpu {
+
+void DeviceBuffer::release() {
+  if (ptr_ != nullptr) {
+    std::free(ptr_);
+    device_->free_bytes(bytes_);
+    ptr_ = nullptr;
+    bytes_ = 0;
+    device_ = nullptr;
+  }
+}
+
+Device::Device() : Device(Config{}) {}
+
+Device::Device(Config cfg) : cfg_(cfg) {
+  compute_pool_ = std::make_unique<ThreadPool>(cfg_.compute_threads);
+  default_stream_ = create_stream();
+}
+
+Device::~Device() { synchronize(); }
+
+Device& Device::global() {
+  static Device device([] {
+    Config cfg;
+    cfg.compute_threads = env_size_t("PSML_SGPU_THREADS", 0);
+    cfg.pcie_gbps = env_double("PSML_SGPU_PCIE_GBPS", 0.0);
+    cfg.memory_bytes = env_size_t("PSML_SGPU_MEMORY_MB", 4096) << 20;
+    cfg.launch_overhead_us = env_double("PSML_SGPU_LAUNCH_US", 0.0);
+    return cfg;
+  }());
+  return device;
+}
+
+DeviceBuffer Device::alloc(std::size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mem_mutex_);
+    if (allocated_ + bytes > cfg_.memory_bytes) {
+      throw DeviceError("sgpu: out of device memory (requested " +
+                        std::to_string(bytes) + " B, in use " +
+                        std::to_string(allocated_) + " B of " +
+                        std::to_string(cfg_.memory_bytes) + " B)");
+    }
+    allocated_ += bytes;
+  }
+  const std::size_t rounded =
+      (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+  void* p = std::aligned_alloc(kCacheLineBytes,
+                               rounded == 0 ? kCacheLineBytes : rounded);
+  if (p == nullptr) {
+    free_bytes(bytes);
+    throw DeviceError("sgpu: host allocation backing device memory failed");
+  }
+  return DeviceBuffer(this, p, bytes);
+}
+
+void Device::free_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mem_mutex_);
+  allocated_ -= bytes;
+}
+
+std::shared_ptr<Stream> Device::create_stream() {
+  auto s = std::shared_ptr<Stream>(new Stream(), [this](Stream* p) {
+    {
+      std::lock_guard<std::mutex> lock(streams_mutex_);
+      std::erase(streams_, p);
+    }
+    delete p;
+  });
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  streams_.push_back(s.get());
+  return s;
+}
+
+void Device::throttle_copy(double elapsed_sec, std::size_t bytes) const {
+  if (cfg_.pcie_gbps <= 0.0) return;
+  const double target = static_cast<double>(bytes) / (cfg_.pcie_gbps * 1e9);
+  if (target > elapsed_sec) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(target - elapsed_sec));
+  }
+}
+
+void Device::memcpy_h2d(Stream& stream, DeviceBuffer& dst, const void* src,
+                        std::size_t bytes) {
+  PSML_REQUIRE(bytes <= dst.bytes(), "memcpy_h2d: copy exceeds buffer");
+  void* d = dst.raw();
+  stream.enqueue([this, d, src, bytes] {
+    const double t0 = trace_.now();
+    Timer t;
+    std::memcpy(d, src, bytes);
+    throttle_copy(t.seconds(), bytes);
+    trace_.record(ActivityKind::kMemcpyH2D, "h2d", t0, trace_.now(), bytes);
+  });
+}
+
+void Device::memcpy_d2h(Stream& stream, void* dst, const DeviceBuffer& src,
+                        std::size_t bytes) {
+  PSML_REQUIRE(bytes <= src.bytes(), "memcpy_d2h: copy exceeds buffer");
+  const void* s = src.raw();
+  stream.enqueue([this, dst, s, bytes] {
+    const double t0 = trace_.now();
+    Timer t;
+    std::memcpy(dst, s, bytes);
+    throttle_copy(t.seconds(), bytes);
+    trace_.record(ActivityKind::kMemcpyD2H, "d2h", t0, trace_.now(), bytes);
+  });
+}
+
+void Device::launch(Stream& stream, std::string name,
+                    std::function<void()> kernel) {
+  stream.enqueue([this, name = std::move(name), kernel = std::move(kernel)] {
+    if (cfg_.launch_overhead_us > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(cfg_.launch_overhead_us * 1e-6));
+    }
+    const double t0 = trace_.now();
+    kernel();
+    trace_.record(ActivityKind::kKernel, name, t0, trace_.now());
+  });
+}
+
+void Device::synchronize() {
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  for (Stream* s : streams_) s->synchronize();
+}
+
+}  // namespace psml::sgpu

@@ -1,0 +1,142 @@
+// Simulated GPU device — the CUDA substitute (see DESIGN.md §2).
+//
+// The device owns:
+//   * a device memory arena with capacity accounting (cudaMalloc analogue),
+//   * an ordered-queue Stream abstraction with Events (cudaStream_t /
+//     cudaEvent_t analogues) — each stream is a dedicated worker thread,
+//   * a copy engine: H2D/D2H transfers are real memcpys optionally throttled
+//     to a configured PCIe bandwidth so transfer/compute overlap behaves like
+//     the real machine,
+//   * a compute pool shared by kernels (the "SMs"),
+//   * an nvprof-style activity trace.
+//
+// Everything framework-level (what runs where, what overlaps what) uses only
+// this API, so porting back to real CUDA is a backend swap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "sgpu/stream.hpp"
+#include "sgpu/trace.hpp"
+
+namespace psml::sgpu {
+
+class Device;
+
+// RAII device allocation. Movable, non-copyable.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer() { release(); }
+
+  std::size_t bytes() const { return bytes_; }
+  bool valid() const { return ptr_ != nullptr; }
+
+  // Raw device pointer. Host code must not dereference outside kernels/copies
+  // (we cannot enforce that in simulation, but the discipline is kept
+  // throughout the library so a CUDA backend drops in).
+  void* raw() { return ptr_; }
+  const void* raw() const { return ptr_; }
+  float* f32() { return static_cast<float*>(ptr_); }
+  const float* f32() const { return static_cast<const float*>(ptr_); }
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* device, void* ptr, std::size_t bytes)
+      : device_(device), ptr_(ptr), bytes_(bytes) {}
+
+  void release();
+  void swap(DeviceBuffer& other) noexcept {
+    std::swap(device_, other.device_);
+    std::swap(ptr_, other.ptr_);
+    std::swap(bytes_, other.bytes_);
+  }
+
+  Device* device_ = nullptr;
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+class Device {
+ public:
+  struct Config {
+    // Worker threads backing kernel execution; 0 = hardware_concurrency.
+    std::size_t compute_threads = 0;
+    // Simulated PCIe bandwidth in GB/s for each copy direction; 0 disables
+    // the throttle (copies cost just the memcpy).
+    double pcie_gbps = 0.0;
+    // Device memory capacity.
+    std::size_t memory_bytes = std::size_t{4} << 30;
+    // Fixed per-kernel launch latency in microseconds (models driver
+    // overhead; relevant for the many-small-kernels regime of Fig. 17).
+    double launch_overhead_us = 0.0;
+  };
+
+  Device();
+  explicit Device(Config cfg);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // Process-wide device, configured once from PSML_SGPU_* env vars.
+  static Device& global();
+
+  const Config& config() const { return cfg_; }
+
+  DeviceBuffer alloc(std::size_t bytes);
+  std::size_t allocated_bytes() const { return allocated_; }
+
+  Stream& default_stream() { return *default_stream_; }
+  // Streams deregister themselves from the device on destruction, hence the
+  // shared_ptr with custom deleter.
+  std::shared_ptr<Stream> create_stream();
+
+  // Asynchronous copies, enqueued on `stream` (cudaMemcpyAsync analogues).
+  void memcpy_h2d(Stream& stream, DeviceBuffer& dst, const void* src,
+                  std::size_t bytes);
+  void memcpy_d2h(Stream& stream, void* dst, const DeviceBuffer& src,
+                  std::size_t bytes);
+
+  // Enqueue a named kernel on `stream`. The functor runs on the stream
+  // thread and may use compute_pool() for internal parallelism.
+  void launch(Stream& stream, std::string name, std::function<void()> kernel);
+
+  // Blocks until all streams created so far have drained.
+  void synchronize();
+
+  ThreadPool& compute_pool() { return *compute_pool_; }
+  Trace& trace() { return trace_; }
+
+ private:
+  friend class DeviceBuffer;
+  void free_bytes(std::size_t bytes);
+  void throttle_copy(double elapsed_sec, std::size_t bytes) const;
+
+  Config cfg_;
+  std::unique_ptr<ThreadPool> compute_pool_;
+  Trace trace_;
+
+  std::mutex mem_mutex_;
+  std::size_t allocated_ = 0;
+
+  std::mutex streams_mutex_;
+  std::vector<Stream*> streams_;  // registry for synchronize()
+  std::shared_ptr<Stream> default_stream_;
+};
+
+}  // namespace psml::sgpu

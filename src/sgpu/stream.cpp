@@ -1,0 +1,80 @@
+#include "sgpu/stream.hpp"
+
+namespace psml::sgpu {
+
+void Event::fire() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->done = true;
+  }
+  state_->cv.notify_all();
+}
+
+void Event::wait() const {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+bool Event::ready() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+Stream::Stream() : worker_([this] { worker_loop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+Event Stream::record_event() {
+  Event e;
+  enqueue([e]() mutable { e.fire(); });
+  return e;
+}
+
+void Stream::wait_event(Event e) {
+  enqueue([e] { e.wait(); });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace psml::sgpu

@@ -1,0 +1,70 @@
+// Stream/Event execution model of the simulated device.
+//
+// A Stream is an in-order work queue with a dedicated worker thread
+// (cudaStream_t). An Event marks a point in a stream; the host can wait on
+// it (cudaEventSynchronize) and other streams can order behind it
+// (cudaStreamWaitEvent). These two primitives carry the whole double-pipeline
+// design of Sec. 4.3.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace psml::sgpu {
+
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  // Host-side blocking wait until the event has fired.
+  void wait() const;
+  bool ready() const;
+
+ private:
+  friend class Stream;
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  void fire();
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // Enqueue arbitrary work; runs on the stream thread in FIFO order.
+  void enqueue(std::function<void()> task);
+
+  // Record an event that fires when all previously enqueued work completes.
+  Event record_event();
+
+  // All *subsequently* enqueued work waits until `e` has fired.
+  void wait_event(Event e);
+
+  // Host-side blocking drain of the queue.
+  void synchronize();
+
+ private:
+  void worker_loop();
+
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;        // signals the worker
+  std::condition_variable idle_cv_;   // signals synchronize()
+  bool stopping_ = false;
+  bool busy_ = false;
+  std::thread worker_;
+};
+
+}  // namespace psml::sgpu

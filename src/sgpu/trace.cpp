@@ -1,0 +1,55 @@
+#include "sgpu/trace.hpp"
+
+namespace psml::sgpu {
+
+namespace {
+const char* kind_prefix(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kMemcpyH2D: return "memcpy_h2d";
+    case ActivityKind::kMemcpyD2H: return "memcpy_d2h";
+    case ActivityKind::kKernel: return "kernel";
+  }
+  return "?";
+}
+}  // namespace
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Trace::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Trace::record(ActivityKind kind, const std::string& name,
+                   double start_sec, double end_sec, std::uint64_t bytes) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  activities_.push_back({kind, name, start_sec, end_sec, bytes});
+}
+
+std::vector<Activity> Trace::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return activities_;
+}
+
+std::map<std::string, ActivitySummary> Trace::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, ActivitySummary> out;
+  for (const auto& a : activities_) {
+    std::string key = kind_prefix(a.kind);
+    if (a.kind == ActivityKind::kKernel) key += ":" + a.name;
+    auto& s = out[key];
+    s.total_sec += a.end_sec - a.start_sec;
+    s.count += 1;
+    s.bytes += a.bytes;
+  }
+  return out;
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  activities_.clear();
+}
+
+}  // namespace psml::sgpu

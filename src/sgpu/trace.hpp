@@ -1,0 +1,58 @@
+// nvprof-style activity trace for the simulated device.
+//
+// Every copy and kernel records {name, category, start, end, bytes}; the
+// profiler and the Fig. 8 benchmark read aggregate summaries from here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psml::sgpu {
+
+enum class ActivityKind { kMemcpyH2D, kMemcpyD2H, kKernel };
+
+struct Activity {
+  ActivityKind kind;
+  std::string name;
+  double start_sec;  // relative to trace epoch
+  double end_sec;
+  std::uint64_t bytes;  // copies only
+};
+
+struct ActivitySummary {
+  double total_sec = 0.0;
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Trace {
+ public:
+  Trace();
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void record(ActivityKind kind, const std::string& name, double start_sec,
+              double end_sec, std::uint64_t bytes = 0);
+
+  // Current time relative to the trace epoch.
+  double now() const;
+
+  std::vector<Activity> snapshot() const;
+  // Aggregates by (kind, name) for kernels and by kind for copies.
+  std::map<std::string, ActivitySummary> summary() const;
+
+  void clear();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Activity> activities_;
+  bool enabled_ = true;
+};
+
+}  // namespace psml::sgpu

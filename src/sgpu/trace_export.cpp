@@ -1,0 +1,82 @@
+#include "sgpu/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace psml::sgpu {
+
+namespace {
+
+const char* track_of(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kMemcpyH2D: return "copy h2d";
+    case ActivityKind::kMemcpyD2H: return "copy d2h";
+    case ActivityKind::kKernel: return "compute";
+  }
+  return "?";
+}
+
+int tid_of(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kMemcpyH2D: return 1;
+    case ActivityKind::kMemcpyD2H: return 2;
+    case ActivityKind::kKernel: return 3;
+  }
+  return 0;
+}
+
+// Minimal JSON string escaping (names are ASCII identifiers in practice).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Trace& trace) {
+  const auto activities = trace.snapshot();
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  // Thread-name metadata events make the tracks readable.
+  for (const int tid : {1, 2, 3}) {
+    const char* name = tid == 1 ? "copy h2d" : tid == 2 ? "copy d2h" : "compute";
+    if (!first) os << ",";
+    first = false;
+    os << R"({"ph":"M","pid":1,"tid":)" << tid
+       << R"(,"name":"thread_name","args":{"name":")" << name << R"("}})";
+  }
+  for (const auto& a : activities) {
+    if (!first) os << ",";
+    first = false;
+    os << R"({"ph":"X","pid":1,"tid":)" << tid_of(a.kind) << R"(,"name":")"
+       << escape(a.name) << R"(","cat":")" << track_of(a.kind) << R"(","ts":)"
+       << a.start_sec * 1e6 << R"(,"dur":)" << (a.end_sec - a.start_sec) * 1e6;
+    if (a.bytes > 0) {
+      os << R"(,"args":{"bytes":)" << a.bytes << "}";
+    }
+    os << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+void write_chrome_trace(std::ostream& os, const Trace& trace) {
+  os << to_chrome_trace_json(trace);
+}
+
+void write_chrome_trace(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  PSML_REQUIRE(os.good(), "trace export: cannot open " + path);
+  write_chrome_trace(os, trace);
+  PSML_REQUIRE(os.good(), "trace export: write failed for " + path);
+}
+
+}  // namespace psml::sgpu

@@ -1,0 +1,22 @@
+// Chrome-tracing export of the device activity trace.
+//
+// Writes the Trace Event Format understood by chrome://tracing and Perfetto:
+// one complete ("X") event per copy/kernel, copies on a "copy engine" track
+// and kernels on a "compute" track — the visual equivalent of an nvprof
+// timeline for the simulated device.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sgpu/trace.hpp"
+
+namespace psml::sgpu {
+
+// Serializes the trace as a Trace Event Format JSON array document.
+std::string to_chrome_trace_json(const Trace& trace);
+
+void write_chrome_trace(std::ostream& os, const Trace& trace);
+void write_chrome_trace(const std::string& path, const Trace& trace);
+
+}  // namespace psml::sgpu

@@ -1,0 +1,135 @@
+#include "sparse/csr.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace psml::sparse {
+
+namespace {
+
+struct WireHeader {
+  std::uint32_t rows;
+  std::uint32_t cols;
+  std::uint32_t nnz;
+};
+
+}  // namespace
+
+Csr Csr::from_dense(const MatrixF& dense) {
+  Csr out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  PSML_REQUIRE(dense.rows() < UINT32_MAX && dense.cols() < UINT32_MAX,
+               "CSR: dimension exceeds 32-bit index space");
+  out.row_ptr_.resize(out.rows_ + 1, 0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      const float v = dense(r, c);
+      if (v != 0.0f) {
+        out.col_idx_.push_back(static_cast<std::uint32_t>(c));
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[r + 1] = static_cast<std::uint32_t>(out.values_.size());
+  }
+  return out;
+}
+
+MatrixF Csr::to_dense() const {
+  MatrixF out(rows_, cols_, 0.0f);
+  add_to(out);
+  return out;
+}
+
+void Csr::add_to(MatrixF& out) const {
+  PSML_REQUIRE(out.rows() == rows_ && out.cols() == cols_,
+               "CSR add_to: shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* orow = out.data() + r * cols_;
+    for (std::uint32_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      orow[col_idx_[i]] += values_[i];
+    }
+  }
+}
+
+MatrixF Csr::spmm(const MatrixF& x) const {
+  PSML_REQUIRE(x.rows() == cols_, "CSR spmm: inner dimensions disagree");
+  MatrixF y(rows_, x.cols(), 0.0f);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* yrow = y.data() + r * y.cols();
+    for (std::uint32_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const float v = values_[i];
+      const float* xrow = x.data() + col_idx_[i] * x.cols();
+      for (std::size_t c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+std::size_t Csr::wire_bytes() const {
+  return sizeof(WireHeader) + row_ptr_.size() * sizeof(std::uint32_t) +
+         col_idx_.size() * sizeof(std::uint32_t) +
+         values_.size() * sizeof(float);
+}
+
+std::vector<std::uint8_t> Csr::serialize() const {
+  std::vector<std::uint8_t> buf(wire_bytes());
+  std::uint8_t* p = buf.data();
+  const WireHeader h{static_cast<std::uint32_t>(rows_),
+                     static_cast<std::uint32_t>(cols_),
+                     static_cast<std::uint32_t>(values_.size())};
+  std::memcpy(p, &h, sizeof(h));
+  p += sizeof(h);
+  std::memcpy(p, row_ptr_.data(), row_ptr_.size() * sizeof(std::uint32_t));
+  p += row_ptr_.size() * sizeof(std::uint32_t);
+  std::memcpy(p, col_idx_.data(), col_idx_.size() * sizeof(std::uint32_t));
+  p += col_idx_.size() * sizeof(std::uint32_t);
+  std::memcpy(p, values_.data(), values_.size() * sizeof(float));
+  return buf;
+}
+
+Csr Csr::deserialize(const std::uint8_t* data, std::size_t size) {
+  if (size < sizeof(WireHeader)) {
+    throw ProtocolError("CSR deserialize: buffer shorter than header");
+  }
+  WireHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  const std::size_t rp = static_cast<std::size_t>(h.rows) + 1;
+  const std::size_t need = sizeof(WireHeader) + rp * sizeof(std::uint32_t) +
+                           static_cast<std::size_t>(h.nnz) *
+                               (sizeof(std::uint32_t) + sizeof(float));
+  if (size != need) {
+    throw ProtocolError("CSR deserialize: buffer size does not match header");
+  }
+  Csr out;
+  out.rows_ = h.rows;
+  out.cols_ = h.cols;
+  out.row_ptr_.resize(rp);
+  out.col_idx_.resize(h.nnz);
+  out.values_.resize(h.nnz);
+  const std::uint8_t* p = data + sizeof(WireHeader);
+  std::memcpy(out.row_ptr_.data(), p, rp * sizeof(std::uint32_t));
+  p += rp * sizeof(std::uint32_t);
+  std::memcpy(out.col_idx_.data(), p, h.nnz * sizeof(std::uint32_t));
+  p += h.nnz * sizeof(std::uint32_t);
+  std::memcpy(out.values_.data(), p, h.nnz * sizeof(float));
+
+  // Validate structure so a corrupt payload cannot index out of range later.
+  if (out.row_ptr_.front() != 0 || out.row_ptr_.back() != h.nnz) {
+    throw ProtocolError("CSR deserialize: row pointers do not span nnz");
+  }
+  for (std::size_t r = 0; r + 1 < out.row_ptr_.size(); ++r) {
+    if (out.row_ptr_[r] > out.row_ptr_[r + 1]) {
+      throw ProtocolError("CSR deserialize: non-monotone row pointers");
+    }
+  }
+  for (const auto c : out.col_idx_) {
+    if (c >= h.cols) {
+      throw ProtocolError("CSR deserialize: column index out of range");
+    }
+  }
+  return out;
+}
+
+}  // namespace psml::sparse

@@ -1,0 +1,64 @@
+// Compressed Sparse Row storage + codecs (paper Sec. 4.4).
+//
+// The compressed-transmission layer converts sparse E/F deltas to CSR before
+// sending. The wire format is a single contiguous byte buffer:
+//   header {rows, cols, nnz}  |  row_ptr[rows+1]  |  col_idx[nnz]  | vals[nnz]
+// with 32-bit indices (matrices here never exceed 2^31 per dim).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace psml::sparse {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Build from dense, keeping entries != 0.
+  static Csr from_dense(const MatrixF& dense);
+
+  MatrixF to_dense() const;
+
+  // y = this * x (dense matrix), the SpMM used when a compressed delta is
+  // applied without decompressing first.
+  MatrixF spmm(const MatrixF& x) const;
+
+  // out += this (scatter-add into a dense accumulator), the delta-apply op.
+  void add_to(MatrixF& out) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  // Bytes this matrix occupies on the wire.
+  std::size_t wire_bytes() const;
+  // Bytes the equivalent dense matrix would occupy.
+  std::size_t dense_bytes() const { return rows_ * cols_ * sizeof(float); }
+
+  std::vector<std::uint8_t> serialize() const;
+  // Throws ProtocolError on malformed input (bad sizes, out-of-range
+  // indices, non-monotone row pointers).
+  static Csr deserialize(const std::uint8_t* data, std::size_t size);
+
+  const std::vector<std::uint32_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  friend bool operator==(const Csr& a, const Csr& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_ptr_ == b.row_ptr_ && a.col_idx_ == b.col_idx_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> row_ptr_;  // size rows_+1 (or empty when rows_==0)
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace psml::sparse

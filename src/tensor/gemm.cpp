@@ -1,0 +1,145 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace psml::tensor {
+
+namespace {
+
+std::size_t op_rows(const MatrixF& x, Trans t) {
+  return t == Trans::kNo ? x.rows() : x.cols();
+}
+std::size_t op_cols(const MatrixF& x, Trans t) {
+  return t == Trans::kNo ? x.cols() : x.rows();
+}
+
+// Cache-blocked ikj kernel over plain row-major operands, rows [r0, r1).
+// Inner loop is over contiguous B/C rows, so it vectorizes.
+void gemm_rows(float alpha, const float* a, const float* b, float beta,
+               float* c, std::size_t r0, std::size_t r1, std::size_t n,
+               std::size_t k) {
+  constexpr std::size_t kKB = 256;  // k-block: A panel + B panel fit in L1/L2
+  constexpr std::size_t kJB = 512;  // j-block: C row segment stays in L1
+
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* ci = c + i * n;
+    if (beta == 0.0f) {
+      std::fill(ci, ci + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+  }
+  for (std::size_t kb = 0; kb < k; kb += kKB) {
+    const std::size_t kmax = std::min(kb + kKB, k);
+    for (std::size_t jb = 0; jb < n; jb += kJB) {
+      const std::size_t jmax = std::min(jb + kJB, n);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float* ai = a + i * k;
+        float* ci = c + i * n;
+        for (std::size_t kk = kb; kk < kmax; ++kk) {
+          const float av = alpha * ai[kk];
+          if (av == 0.0f) continue;
+          const float* bk = b + kk * n;
+          for (std::size_t j = jb; j < jmax; ++j) {
+            ci[j] += av * bk[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GemmDims gemm_dims(const MatrixF& a, Trans ta, const MatrixF& b, Trans tb,
+                   const MatrixF& c) {
+  const std::size_t m = op_rows(a, ta);
+  const std::size_t k = op_cols(a, ta);
+  const std::size_t kb = op_rows(b, tb);
+  const std::size_t n = op_cols(b, tb);
+  PSML_REQUIRE(k == kb, "gemm: inner dimensions disagree");
+  PSML_REQUIRE(c.rows() == m && c.cols() == n, "gemm: output shape mismatch");
+  return {m, n, k};
+}
+
+void gemm_naive(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
+                Trans tb, float beta, MatrixF& c) {
+  const auto [m, n, k] = gemm_dims(a, ta, b, tb, c);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ta == Trans::kNo ? a(i, kk) : a(kk, i);
+        const float bv = tb == Trans::kNo ? b(kk, j) : b(j, kk);
+        acc += av * bv;
+      }
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+void gemm_blocked(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
+                  Trans tb, float beta, MatrixF& c) {
+  const auto [m, n, k] = gemm_dims(a, ta, b, tb, c);
+  // Normalize to non-transposed row-major operands; the transpose copy is
+  // O(mk + kn) against the O(mnk) multiply.
+  const MatrixF* ap = &a;
+  const MatrixF* bp = &b;
+  MatrixF at, bt;
+  if (ta == Trans::kYes) {
+    at = transpose(a);
+    ap = &at;
+  }
+  if (tb == Trans::kYes) {
+    bt = transpose(b);
+    bp = &bt;
+  }
+  gemm_rows(alpha, ap->data(), bp->data(), beta, c.data(), 0, m, n, k);
+}
+
+void gemm_parallel(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
+                   Trans tb, float beta, MatrixF& c) {
+  const auto [m, n, k] = gemm_dims(a, ta, b, tb, c);
+  const MatrixF* ap = &a;
+  const MatrixF* bp = &b;
+  MatrixF at, bt;
+  if (ta == Trans::kYes) {
+    at = transpose(a);
+    ap = &at;
+  }
+  if (tb == Trans::kYes) {
+    bt = transpose(b);
+    bp = &bt;
+  }
+  // Small problems: parallel launch overhead dominates.
+  if (m * n * k < (std::size_t{1} << 18)) {
+    gemm_rows(alpha, ap->data(), bp->data(), beta, c.data(), 0, m, n, k);
+    return;
+  }
+  const float* pa = ap->data();
+  const float* pb = bp->data();
+  float* pc = c.data();
+  parallel_for(
+      0, m,
+      [=](std::size_t lo, std::size_t hi) {
+        gemm_rows(alpha, pa, pb, beta, pc, lo, hi, n, k);
+      },
+      /*grain=*/4);
+}
+
+MatrixF matmul(const MatrixF& a, const MatrixF& b) {
+  MatrixF c(a.rows(), b.cols());
+  gemm_parallel(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  return c;
+}
+
+MatrixF matmul_naive(const MatrixF& a, const MatrixF& b) {
+  MatrixF c(a.rows(), b.cols());
+  gemm_naive(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  return c;
+}
+
+}  // namespace psml::tensor

@@ -1,0 +1,40 @@
+// Host-side GEMM kernels: C = alpha * A(+T) x B(+T) + beta * C.
+//
+// Three tiers:
+//   gemm_naive    — triple loop, the reference every other kernel is tested
+//                   against; also the "SecureML baseline" compute path.
+//   gemm_blocked  — cache-blocked, register-tiled, single-threaded.
+//   gemm_parallel — gemm_blocked across row panels on the global thread pool;
+//                   the CPU side of the adaptive dispatcher.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace psml::tensor {
+
+enum class Trans { kNo, kYes };
+
+struct GemmDims {
+  std::size_t m, n, k;
+};
+
+// Validates shapes and returns (m, n, k) for C(m,n) = A op x B op.
+GemmDims gemm_dims(const MatrixF& a, Trans ta, const MatrixF& b, Trans tb,
+                   const MatrixF& c);
+
+void gemm_naive(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
+                Trans tb, float beta, MatrixF& c);
+
+void gemm_blocked(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
+                  Trans tb, float beta, MatrixF& c);
+
+void gemm_parallel(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
+                   Trans tb, float beta, MatrixF& c);
+
+// Convenience: C = A x B with a fresh output, parallel kernel.
+MatrixF matmul(const MatrixF& a, const MatrixF& b);
+
+// Convenience: C = A x B with the naive kernel (baseline mode).
+MatrixF matmul_naive(const MatrixF& a, const MatrixF& b);
+
+}  // namespace psml::tensor

@@ -1,0 +1,141 @@
+#include "tensor/im2col.hpp"
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace psml::tensor {
+
+namespace {
+
+void check_input(const MatrixF& input, const ConvShape& s) {
+  PSML_REQUIRE(input.cols() == s.in_c * s.in_h * s.in_w,
+               "conv: input cols != in_c*in_h*in_w");
+}
+
+}  // namespace
+
+MatrixF im2col(const MatrixF& input, const ConvShape& s) {
+  check_input(input, s);
+  const std::size_t batch = input.rows();
+  const std::size_t oh = s.out_h();
+  const std::size_t ow = s.out_w();
+  MatrixF patches(s.patch_rows(batch), s.patch_cols());
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* img = input.data() + b * input.cols();
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float* prow =
+            patches.data() + ((b * oh + oy) * ow + ox) * patches.cols();
+        std::size_t col = 0;
+        for (std::size_t c = 0; c < s.in_c; ++c) {
+          const float* chan = img + c * s.in_h * s.in_w;
+          for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+                static_cast<std::ptrdiff_t>(s.pad);
+            for (std::size_t kx = 0; kx < s.kernel; ++kx, ++col) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * s.stride + kx) -
+                  static_cast<std::ptrdiff_t>(s.pad);
+              if (iy < 0 || ix < 0 ||
+                  iy >= static_cast<std::ptrdiff_t>(s.in_h) ||
+                  ix >= static_cast<std::ptrdiff_t>(s.in_w)) {
+                prow[col] = 0.0f;
+              } else {
+                prow[col] = chan[iy * s.in_w + ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return patches;
+}
+
+MatrixF col2im(const MatrixF& patches, const ConvShape& s, std::size_t batch) {
+  PSML_REQUIRE(patches.rows() == s.patch_rows(batch) &&
+                   patches.cols() == s.patch_cols(),
+               "col2im: patch matrix shape mismatch");
+  const std::size_t oh = s.out_h();
+  const std::size_t ow = s.out_w();
+  MatrixF grad(batch, s.in_c * s.in_h * s.in_w, 0.0f);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* img = grad.data() + b * grad.cols();
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float* prow =
+            patches.data() + ((b * oh + oy) * ow + ox) * patches.cols();
+        std::size_t col = 0;
+        for (std::size_t c = 0; c < s.in_c; ++c) {
+          float* chan = img + c * s.in_h * s.in_w;
+          for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+                static_cast<std::ptrdiff_t>(s.pad);
+            for (std::size_t kx = 0; kx < s.kernel; ++kx, ++col) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * s.stride + kx) -
+                  static_cast<std::ptrdiff_t>(s.pad);
+              if (iy >= 0 && ix >= 0 &&
+                  iy < static_cast<std::ptrdiff_t>(s.in_h) &&
+                  ix < static_cast<std::ptrdiff_t>(s.in_w)) {
+                chan[iy * s.in_w + ix] += prow[col];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+MatrixF conv2d_direct(const MatrixF& input, const MatrixF& weights,
+                      const ConvShape& s) {
+  check_input(input, s);
+  PSML_REQUIRE(weights.rows() == s.out_c && weights.cols() == s.patch_cols(),
+               "conv: weight shape mismatch");
+  const std::size_t batch = input.rows();
+  const std::size_t oh = s.out_h();
+  const std::size_t ow = s.out_w();
+  MatrixF out(batch, s.out_c * oh * ow, 0.0f);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* img = input.data() + b * input.cols();
+    for (std::size_t f = 0; f < s.out_c; ++f) {
+      const float* w = weights.data() + f * weights.cols();
+      float* omap = out.data() + b * out.cols() + f * oh * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          std::size_t col = 0;
+          for (std::size_t c = 0; c < s.in_c; ++c) {
+            const float* chan = img + c * s.in_h * s.in_w;
+            for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+                  static_cast<std::ptrdiff_t>(s.pad);
+              for (std::size_t kx = 0; kx < s.kernel; ++kx, ++col) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * s.stride + kx) -
+                    static_cast<std::ptrdiff_t>(s.pad);
+                if (iy >= 0 && ix >= 0 &&
+                    iy < static_cast<std::ptrdiff_t>(s.in_h) &&
+                    ix < static_cast<std::ptrdiff_t>(s.in_w)) {
+                  acc += w[col] * chan[iy * s.in_w + ix];
+                }
+              }
+            }
+          }
+          omap[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace psml::tensor

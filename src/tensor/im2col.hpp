@@ -1,0 +1,52 @@
+// im2col / col2im lowering and a direct 2-D convolution reference.
+//
+// Convolution in the secure CNN is executed as a triplet *matrix* multiply
+// over the im2col-lowered input (the paper protects "triplet multiplication",
+// which covers conv through exactly this lowering). col2im is needed by the
+// backward pass.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace psml::tensor {
+
+struct ConvShape {
+  std::size_t in_h = 0, in_w = 0;      // input spatial dims
+  std::size_t in_c = 1;                // input channels
+  std::size_t kernel = 5;              // square kernel
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  std::size_t out_c = 1;               // number of filters
+
+  std::size_t out_h() const {
+    PSML_REQUIRE(in_h + 2 * pad >= kernel, "conv: kernel larger than input");
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+  std::size_t out_w() const {
+    PSML_REQUIRE(in_w + 2 * pad >= kernel, "conv: kernel larger than input");
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+  // Rows/cols of the lowered patch matrix for a batch of size `batch`:
+  // (batch * out_h * out_w) x (in_c * kernel * kernel).
+  std::size_t patch_rows(std::size_t batch) const {
+    return batch * out_h() * out_w();
+  }
+  std::size_t patch_cols() const { return in_c * kernel * kernel; }
+};
+
+// input: batch x (in_c * in_h * in_w), row-major, channel-major per image.
+// Returns patch matrix P with shape patch_rows(batch) x patch_cols(); then
+// conv output = P x W^T where W is out_c x patch_cols().
+MatrixF im2col(const MatrixF& input, const ConvShape& shape);
+
+// Inverse scatter-add of im2col: grad w.r.t. the input from the patch-matrix
+// gradient. Returns batch x (in_c * in_h * in_w).
+MatrixF col2im(const MatrixF& patches, const ConvShape& shape,
+               std::size_t batch);
+
+// Direct (non-lowered) convolution reference used to validate im2col+GEMM.
+// weights: out_c x (in_c * kernel * kernel).
+MatrixF conv2d_direct(const MatrixF& input, const MatrixF& weights,
+                      const ConvShape& shape);
+
+}  // namespace psml::tensor

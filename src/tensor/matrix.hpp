@@ -1,0 +1,103 @@
+// Dense row-major matrix with cache-line-aligned storage.
+//
+// This is the value type flowing through the whole framework: plaintext
+// tensors, secret shares, Beaver triplets, and wire payloads are all
+// Matrix<T> for T in {float, double, uint64_t (ring elements)}.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+
+namespace psml {
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  Matrix(std::size_t rows, std::size_t cols, T fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // Row-major initializer: Matrix<float>({{1,2},{3,4}}).
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      PSML_REQUIRE(row.size() == cols_, "ragged initializer list");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t bytes() const { return size() * sizeof(T); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  T& at(std::size_t r, std::size_t c) {
+    PSML_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+    return (*this)(r, c);
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    PSML_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+    return (*this)(r, c);
+  }
+
+  std::span<T> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const T> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T, AlignedAllocator<T>> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+using MatrixU64 = Matrix<std::uint64_t>;
+
+}  // namespace psml

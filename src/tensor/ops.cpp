@@ -1,0 +1,104 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+
+namespace psml::tensor {
+
+namespace {
+
+// All parallel elementwise kernels share this driver. Chunks are multiples of
+// a cache line (16 floats), so no two threads write the same line, and small
+// inputs fall back to the serial path (one parallel region, merged work).
+template <typename Body>
+void elementwise_par(std::size_t n, Body&& body) {
+  constexpr std::size_t kSerialCutoff = 1 << 14;  // 16K floats = 64 KiB
+  if (n < kSerialCutoff) {
+    body(0, n);
+    return;
+  }
+  parallel_for(0, n, body, kFloatsPerCacheLine * 64);
+}
+
+}  // namespace
+
+void add_par(const MatrixF& a, const MatrixF& b, MatrixF& out) {
+  PSML_REQUIRE(a.same_shape(b), "add_par: shape mismatch");
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  elementwise_par(a.size(), [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+  });
+}
+
+void sub_par(const MatrixF& a, const MatrixF& b, MatrixF& out) {
+  PSML_REQUIRE(a.same_shape(b), "sub_par: shape mismatch");
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  elementwise_par(a.size(), [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+  });
+}
+
+void hadamard_par(const MatrixF& a, const MatrixF& b, MatrixF& out) {
+  PSML_REQUIRE(a.same_shape(b), "hadamard_par: shape mismatch");
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  elementwise_par(a.size(), [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
+}
+
+void scale_par(const MatrixF& a, float s, MatrixF& out) {
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const float* pa = a.data();
+  float* po = out.data();
+  elementwise_par(a.size(), [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] = pa[i] * s;
+  });
+}
+
+void axpy_par(float s, const MatrixF& a, MatrixF& out) {
+  PSML_REQUIRE(a.same_shape(out), "axpy_par: shape mismatch");
+  const float* pa = a.data();
+  float* po = out.data();
+  elementwise_par(a.size(), [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] += s * pa[i];
+  });
+}
+
+double max_abs_diff(const MatrixF& a, const MatrixF& b) {
+  PSML_REQUIRE(a.same_shape(b), "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a.data()[i]) - b.data()[i]));
+  }
+  return m;
+}
+
+double max_abs_diff(const MatrixD& a, const MatrixD& b) {
+  PSML_REQUIRE(a.same_shape(b), "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+double fro_norm(const MatrixF& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * a.data()[i];
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace psml::tensor

@@ -1,0 +1,144 @@
+// Elementwise and structural matrix operations.
+//
+// Every binary/unary elementwise op has a serial form and a parallel form
+// (suffix `_par`) running on the global thread pool with cache-line-aligned
+// chunking — the CPU optimization of Sec. 5.1.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "tensor/matrix.hpp"
+
+namespace psml::tensor {
+
+// ---- serial elementwise -------------------------------------------------
+
+template <typename T>
+void add(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& out) {
+  PSML_REQUIRE(a.same_shape(b), "add: shape mismatch");
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const T* pa = a.data();
+  const T* pb = b.data();
+  T* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] = pa[i] + pb[i];
+}
+
+template <typename T>
+void sub(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& out) {
+  PSML_REQUIRE(a.same_shape(b), "sub: shape mismatch");
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const T* pa = a.data();
+  const T* pb = b.data();
+  T* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] = pa[i] - pb[i];
+}
+
+template <typename T>
+void hadamard(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& out) {
+  PSML_REQUIRE(a.same_shape(b), "hadamard: shape mismatch");
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const T* pa = a.data();
+  const T* pb = b.data();
+  T* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+}
+
+template <typename T>
+void scale(const Matrix<T>& a, T s, Matrix<T>& out) {
+  if (!out.same_shape(a)) out.resize(a.rows(), a.cols());
+  const T* pa = a.data();
+  T* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] = pa[i] * s;
+}
+
+// out += a * s
+template <typename T>
+void axpy(T s, const Matrix<T>& a, Matrix<T>& out) {
+  PSML_REQUIRE(a.same_shape(out), "axpy: shape mismatch");
+  const T* pa = a.data();
+  T* po = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) po[i] += s * pa[i];
+}
+
+// ---- parallel elementwise (cache-line chunked) --------------------------
+
+void add_par(const MatrixF& a, const MatrixF& b, MatrixF& out);
+void sub_par(const MatrixF& a, const MatrixF& b, MatrixF& out);
+void hadamard_par(const MatrixF& a, const MatrixF& b, MatrixF& out);
+void scale_par(const MatrixF& a, float s, MatrixF& out);
+void axpy_par(float s, const MatrixF& a, MatrixF& out);
+
+// ---- structural ----------------------------------------------------------
+
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& a) {
+  Matrix<T> out(a.cols(), a.rows());
+  // Blocked transpose for cache friendliness.
+  constexpr std::size_t kBlock = 32;
+  for (std::size_t rb = 0; rb < a.rows(); rb += kBlock) {
+    for (std::size_t cb = 0; cb < a.cols(); cb += kBlock) {
+      const std::size_t rmax = std::min(rb + kBlock, a.rows());
+      const std::size_t cmax = std::min(cb + kBlock, a.cols());
+      for (std::size_t r = rb; r < rmax; ++r) {
+        for (std::size_t c = cb; c < cmax; ++c) {
+          out(c, r) = a(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Horizontal concatenation [a | b] — used by the fused Eq. 8 operand.
+template <typename T>
+Matrix<T> hconcat(const Matrix<T>& a, const Matrix<T>& b) {
+  PSML_REQUIRE(a.rows() == b.rows(), "hconcat: row mismatch");
+  Matrix<T> out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::memcpy(out.data() + r * out.cols(), a.data() + r * a.cols(),
+                a.cols() * sizeof(T));
+    std::memcpy(out.data() + r * out.cols() + a.cols(),
+                b.data() + r * b.cols(), b.cols() * sizeof(T));
+  }
+  return out;
+}
+
+// Vertical concatenation [a ; b] — used by the fused Eq. 8 operand.
+template <typename T>
+Matrix<T> vconcat(const Matrix<T>& a, const Matrix<T>& b) {
+  PSML_REQUIRE(a.cols() == b.cols(), "vconcat: col mismatch");
+  Matrix<T> out(a.rows() + b.rows(), a.cols());
+  std::memcpy(out.data(), a.data(), a.bytes());
+  std::memcpy(out.data() + a.size(), b.data(), b.bytes());
+  return out;
+}
+
+// ---- reductions / stats ---------------------------------------------------
+
+template <typename T>
+T sum(const Matrix<T>& a) {
+  T acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  return acc;
+}
+
+double max_abs_diff(const MatrixF& a, const MatrixF& b);
+double max_abs_diff(const MatrixD& a, const MatrixD& b);
+
+// Fraction of exactly-zero entries; the compression layer's sparsity test.
+template <typename T>
+double zero_fraction(const Matrix<T>& a) {
+  if (a.empty()) return 1.0;
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] == T{}) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(a.size());
+}
+
+// Frobenius norm.
+double fro_norm(const MatrixF& a);
+
+}  // namespace psml::tensor

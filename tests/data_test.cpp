@@ -1,0 +1,131 @@
+// Synthetic dataset generator tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/datasets.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::data {
+namespace {
+
+using psml::test::expect_near;
+
+TEST(Data, GeometriesMatchSpec) {
+  EXPECT_EQ(dataset_geometry(DatasetKind::kMnist).features(), 28u * 28u);
+  EXPECT_EQ(dataset_geometry(DatasetKind::kCifar10).features(),
+            32u * 32u * 3u);
+  EXPECT_EQ(dataset_geometry(DatasetKind::kSynthetic).features(), 32u * 64u);
+  EXPECT_GT(dataset_geometry(DatasetKind::kNist).features(),
+            dataset_geometry(DatasetKind::kVggFace2).features());
+}
+
+class AllDatasets : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(AllDatasets, ShapesAndRanges) {
+  const auto ds = make_dataset(GetParam(), LabelScheme::kOneHot10, 64, 5);
+  EXPECT_EQ(ds.x.rows(), 64u);
+  EXPECT_EQ(ds.x.cols(), ds.geometry.features());
+  EXPECT_EQ(ds.y.rows(), 64u);
+  EXPECT_EQ(ds.y.cols(), 10u);
+  for (std::size_t i = 0; i < ds.x.size(); ++i) {
+    ASSERT_GE(ds.x.data()[i], 0.0f);
+    ASSERT_LE(ds.x.data()[i], 1.0f);
+  }
+  // Every row is one-hot.
+  for (std::size_t r = 0; r < ds.y.rows(); ++r) {
+    float rowsum = 0;
+    for (std::size_t c = 0; c < 10; ++c) rowsum += ds.y(r, c);
+    ASSERT_FLOAT_EQ(rowsum, 1.0f);
+  }
+}
+
+TEST_P(AllDatasets, DeterministicInSeed) {
+  const auto a = make_dataset(GetParam(), LabelScheme::kBinary01, 32, 9);
+  const auto b = make_dataset(GetParam(), LabelScheme::kBinary01, 32, 9);
+  EXPECT_TRUE(a.x == b.x);
+  EXPECT_TRUE(a.y == b.y);
+  const auto c = make_dataset(GetParam(), LabelScheme::kBinary01, 32, 10);
+  EXPECT_FALSE(a.x == c.x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllDatasets,
+    ::testing::Values(DatasetKind::kMnist, DatasetKind::kVggFace2,
+                      DatasetKind::kNist, DatasetKind::kCifar10,
+                      DatasetKind::kSynthetic),
+    [](const auto& info) {
+      std::string name = to_string(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(Data, BinaryLabelSchemes) {
+  const auto d01 = make_dataset(DatasetKind::kMnist, LabelScheme::kBinary01,
+                                128, 6);
+  EXPECT_EQ(d01.y.cols(), 1u);
+  for (std::size_t r = 0; r < d01.y.rows(); ++r) {
+    ASSERT_TRUE(d01.y(r, 0) == 0.0f || d01.y(r, 0) == 1.0f);
+  }
+  const auto dpm = make_dataset(DatasetKind::kMnist, LabelScheme::kBinaryPm1,
+                                128, 6);
+  for (std::size_t r = 0; r < dpm.y.rows(); ++r) {
+    ASSERT_TRUE(dpm.y(r, 0) == -1.0f || dpm.y(r, 0) == 1.0f);
+  }
+}
+
+TEST(Data, ClassesAreSeparable) {
+  // Means of the two binary classes must differ clearly (else no model can
+  // learn anything from the generator).
+  const auto ds = make_dataset(DatasetKind::kMnist, LabelScheme::kBinary01,
+                               256, 7);
+  MatrixF mean0(1, ds.x.cols(), 0.0f), mean1(1, ds.x.cols(), 0.0f);
+  std::size_t n0 = 0, n1 = 0;
+  for (std::size_t r = 0; r < ds.x.rows(); ++r) {
+    MatrixF& target = ds.y(r, 0) > 0.5f ? mean1 : mean0;
+    (ds.y(r, 0) > 0.5f ? n1 : n0) += 1;
+    for (std::size_t c = 0; c < ds.x.cols(); ++c) {
+      target.data()[c] += ds.x(r, c);
+    }
+  }
+  ASSERT_GT(n0, 0u);
+  ASSERT_GT(n1, 0u);
+  double dist = 0;
+  for (std::size_t c = 0; c < ds.x.cols(); ++c) {
+    const double d = mean0.data()[c] / n0 - mean1.data()[c] / n1;
+    dist += d * d;
+  }
+  EXPECT_GT(std::sqrt(dist), 0.5);
+}
+
+TEST(Data, SliceRows) {
+  const auto ds = make_dataset(DatasetKind::kSynthetic,
+                               LabelScheme::kBinary01, 10, 8);
+  const MatrixF s = slice_rows(ds.x, 4, 3);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_EQ(s.cols(), ds.x.cols());
+  for (std::size_t c = 0; c < s.cols(); ++c) {
+    ASSERT_FLOAT_EQ(s(0, c), ds.x(4, c));
+    ASSERT_FLOAT_EQ(s(2, c), ds.x(6, c));
+  }
+  EXPECT_THROW(slice_rows(ds.x, 8, 5), InvalidArgument);
+}
+
+TEST(Data, SequenceView) {
+  MatrixF batch(2, 8);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.data()[i] = static_cast<float>(i);
+  }
+  const auto xs = sequence_view(batch, 4);
+  ASSERT_EQ(xs.size(), 4u);
+  EXPECT_EQ(xs[0].rows(), 2u);
+  EXPECT_EQ(xs[0].cols(), 2u);
+  EXPECT_FLOAT_EQ(xs[0](0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(xs[0](1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(xs[3](0, 0), 6.0f);
+  EXPECT_THROW(sequence_view(batch, 3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psml::data

@@ -1,0 +1,205 @@
+// Cross-module integration tests: TCP-backend protocol equivalence, failure
+// injection (peer loss mid-protocol, exhausted offline material, corrupt
+// payloads), and multi-threaded end-to-end runs.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mpc/secure_matmul.hpp"
+#include "mpc/share.hpp"
+#include "net/local_channel.hpp"
+#include "net/tcp_channel.hpp"
+#include "parsecureml/framework.hpp"
+#include "parsecureml/store_transfer.hpp"
+#include "tensor/gemm.hpp"
+#include "test_util.hpp"
+
+namespace psml {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+mpc::PartyOptions cpu_opts() {
+  auto opts = mpc::PartyOptions::parsecureml();
+  opts.use_gpu = false;
+  opts.adaptive = false;
+  return opts;
+}
+
+// The same secure matmul over LocalChannel and over TCP loopback must give
+// identical results (transport independence).
+TEST(Integration, TcpBackendMatchesLocalBackend) {
+  const std::size_t n = 24;
+  const MatrixF a = random_matrix(n, n, 701);
+  const MatrixF b = random_matrix(n, n, 702);
+  mpc::TripletDealer dealer(nullptr, {false, false, 703});
+  auto [t0, t1] = dealer.make_matmul(n, n, n);
+  const auto sa = mpc::share_float(a, 704);
+  const auto sb = mpc::share_float(b, 705);
+
+  auto run_with = [&](std::shared_ptr<net::Channel> ch0,
+                      std::shared_ptr<net::Channel> ch1) {
+    mpc::PartyContext ctx0(0, std::move(ch0), nullptr, cpu_opts());
+    mpc::PartyContext ctx1(1, std::move(ch1), nullptr, cpu_opts());
+    MatrixF c0, c1;
+    std::thread peer(
+        [&] { c1 = mpc::secure_matmul(ctx1, sa.s1, sb.s1, t1); });
+    c0 = mpc::secure_matmul(ctx0, sa.s0, sb.s0, t0);
+    peer.join();
+    return mpc::reconstruct_float(c0, c1);
+  };
+
+  auto local = net::LocalChannel::make_pair();
+  const MatrixF via_local = run_with(local.a, local.b);
+
+  const std::uint16_t port = 39261;
+  std::shared_ptr<net::Channel> srv;
+  std::thread listener([&] { srv = net::TcpChannel::listen(port); });
+  auto cli = net::TcpChannel::connect("127.0.0.1", port, 5.0);
+  listener.join();
+  const MatrixF via_tcp = run_with(srv, cli);
+
+  expect_near(via_local, via_tcp, 1e-6, "transport independence");
+  expect_near(via_local, tensor::matmul(a, b), 1e-2, "correct result");
+}
+
+TEST(Integration, PeerLossMidProtocolRaisesNetworkError) {
+  const std::size_t n = 8;
+  mpc::TripletDealer dealer(nullptr, {false, false, 706});
+  auto [t0, t1] = dealer.make_matmul(n, n, n);
+  const MatrixF a = random_matrix(n, n, 707);
+  const auto sa = mpc::share_float(a, 708);
+
+  auto chans = net::LocalChannel::make_pair();
+  mpc::PartyContext ctx0(0, chans.a, nullptr, cpu_opts());
+  // Party 1 vanishes before responding.
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    chans.b->close();
+  });
+  EXPECT_THROW((void)mpc::secure_matmul(ctx0, sa.s0, sa.s0, t0),
+               NetworkError);
+  killer.join();
+}
+
+TEST(Integration, ExhaustedTripletStoreRaises) {
+  auto chans = net::LocalChannel::make_pair();
+  mpc::PartyContext ctx(0, chans.a, nullptr, cpu_opts());
+  EXPECT_THROW(ctx.triplets().pop_matmul(), Error);
+  EXPECT_THROW(ctx.triplets().pop_elementwise(), Error);
+  EXPECT_THROW(ctx.triplets().pop_activation(), Error);
+}
+
+TEST(Integration, CorruptStoreTransferRaises) {
+  auto chans = net::LocalChannel::make_pair();
+  // Send a header announcing matrices that never arrive correctly.
+  std::vector<std::uint8_t> bogus_header(12, 0);
+  bogus_header[0] = 200;  // n_matmul = 200
+  chans.a->send(mpc::tags::kControl + 0x100, bogus_header);
+  // First "matrix" message is garbage.
+  chans.a->send(mpc::tags::kControl + 0x101, std::vector<std::uint8_t>{1, 2});
+  EXPECT_THROW(parsecureml::recv_store(*chans.b), Error);
+}
+
+TEST(Integration, WrongSizeStoreHeaderRaises) {
+  auto chans = net::LocalChannel::make_pair();
+  chans.a->send(mpc::tags::kControl + 0x100,
+                std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_THROW(parsecureml::recv_store(*chans.b), ProtocolError);
+}
+
+TEST(Integration, RecyclingStoreServesManyEpochs) {
+  mpc::TripletDealer dealer(nullptr, {false, false, 709});
+  auto [st0, st1] = dealer.generate({{mpc::TripletKind::kMatMul, 4, 4, 4},
+                                     {mpc::TripletKind::kMatMul, 2, 2, 2}});
+  st0.set_recycle(true);
+  // 10 epochs x 2 pops from a 2-triplet store: cycles in order.
+  for (int e = 0; e < 10; ++e) {
+    const auto first = st0.pop_matmul();
+    EXPECT_EQ(first.u.rows(), 4u) << "epoch " << e;
+    const auto second = st0.pop_matmul();
+    EXPECT_EQ(second.u.rows(), 2u) << "epoch " << e;
+  }
+  EXPECT_EQ(st0.matmul_size(), 2u);  // nothing consumed
+}
+
+TEST(Integration, ConcurrentIndependentRuns) {
+  // Two complete secure training runs in parallel threads must not
+  // interfere (separate channels/contexts; shared global device + pools).
+  auto run_one = [](std::uint64_t seed) {
+    parsecureml::RunConfig cfg;
+    cfg.model = ml::ModelKind::kLinear;
+    cfg.dataset = data::DatasetKind::kMnist;
+    cfg.samples = 16;
+    cfg.batch = 16;
+    cfg.epochs = 1;
+    cfg.mode = parsecureml::Mode::kParSecureML;
+    cfg.seed = seed;
+    cfg.evaluate = false;
+    return parsecureml::run_training(cfg);
+  };
+  parsecureml::RunResult r1, r2;
+  std::thread t1([&] { r1 = run_one(1); });
+  std::thread t2([&] { r2 = run_one(2); });
+  t1.join();
+  t2.join();
+  EXPECT_GT(r1.online_sec, 0.0);
+  EXPECT_GT(r2.online_sec, 0.0);
+}
+
+TEST(Integration, RefreshShareKeepsMagnitudesBounded) {
+  // The float-mode stability mechanism: shares of a small value with huge
+  // share magnitudes come back at mask scale and still reconstruct.
+  auto chans = net::LocalChannel::make_pair();
+  mpc::PartyContext ctx0(0, chans.a, nullptr, cpu_opts());
+  mpc::PartyContext ctx1(1, chans.b, nullptr, cpu_opts());
+
+  const std::size_t n = 32;
+  MatrixF value = random_matrix(n, n, 710, -0.5f, 0.5f);
+  MatrixF huge(n, n);
+  rng::fill_uniform_par(huge, -1e6f, 1e6f, 711);
+  MatrixF s0 = huge;
+  MatrixF s1;
+  tensor::sub(value, huge, s1);
+
+  MatrixF r0, r1;
+  std::thread peer([&] { r1 = mpc::refresh_share(ctx1, s1); });
+  r0 = mpc::refresh_share(ctx0, s0);
+  peer.join();
+
+  double max_share = 0;
+  for (std::size_t i = 0; i < r0.size(); ++i) {
+    max_share = std::max(max_share, std::abs(double{r0.data()[i]}));
+  }
+  EXPECT_LE(max_share, mpc::kFloatMaskRadius * 1.01);
+  expect_near(mpc::reconstruct_float(r0, r1), value, 0.5,
+              "refresh preserves value (up to pre-existing float noise)");
+}
+
+TEST(Integration, ChannelStressManyTagsManyThreads) {
+  // Hammer one channel pair with interleaved tagged traffic from two sender
+  // threads and assert nothing is lost or cross-delivered.
+  auto chans = net::LocalChannel::make_pair();
+  constexpr int kPerTag = 200;
+  std::thread sender([&] {
+    for (int i = 0; i < kPerTag; ++i) {
+      for (net::Tag tag = 1; tag <= 4; ++tag) {
+        std::vector<std::uint8_t> payload = {
+            static_cast<std::uint8_t>(tag), static_cast<std::uint8_t>(i)};
+        chans.a->send(tag, payload);
+      }
+    }
+  });
+  for (net::Tag tag = 4; tag >= 1; --tag) {
+    for (int i = 0; i < kPerTag; ++i) {
+      const auto msg = chans.b->recv(tag);
+      ASSERT_EQ(msg.payload[0], tag);
+      ASSERT_EQ(msg.payload[1], static_cast<std::uint8_t>(i));  // per-tag FIFO
+    }
+  }
+  sender.join();
+}
+
+}  // namespace
+}  // namespace psml

@@ -1,0 +1,162 @@
+// Average pooling (plain + secure) and momentum optimizer tests.
+#include <gtest/gtest.h>
+
+#include "ml/optimizer.hpp"
+#include "ml/plain/pooling.hpp"
+#include "ml/secure/secure_pooling.hpp"
+#include "mpc/share.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::ml {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+TEST(AvgPool, KnownAnswer2x2) {
+  PoolShape s;
+  s.in_h = 4;
+  s.in_w = 4;
+  s.window = 2;
+  MatrixF x(1, 16);
+  for (int i = 0; i < 16; ++i) x.data()[i] = static_cast<float>(i);
+  AvgPool2D pool(s);
+  const MatrixF y = pool.forward(x);
+  ASSERT_EQ(y.cols(), 4u);
+  // Window (0,0): {0,1,4,5} -> 2.5.
+  EXPECT_FLOAT_EQ(y(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), 4.5f);
+  EXPECT_FLOAT_EQ(y(0, 2), 10.5f);
+  EXPECT_FLOAT_EQ(y(0, 3), 12.5f);
+}
+
+TEST(AvgPool, MultiChannel) {
+  PoolShape s;
+  s.in_h = 4;
+  s.in_w = 4;
+  s.channels = 3;
+  s.window = 2;
+  const MatrixF x = random_matrix(5, s.in_features(), 1201);
+  AvgPool2D pool(s);
+  const MatrixF y = pool.forward(x);
+  EXPECT_EQ(y.cols(), 3u * 4u);
+  // Channel 2's first output window equals the mean of its 4 inputs.
+  const float* chan2 = x.data() + 2 * 16;
+  const float expect =
+      (chan2[0] + chan2[1] + chan2[4] + chan2[5]) / 4.0f;
+  EXPECT_NEAR(y(0, 2 * 4), expect, 1e-6);
+}
+
+TEST(AvgPool, BackwardIsAdjoint) {
+  // <pool(x), g> == <x, unpool(g)> — the defining adjoint identity.
+  PoolShape s;
+  s.in_h = 6;
+  s.in_w = 6;
+  s.channels = 2;
+  s.window = 3;
+  const MatrixF x = random_matrix(3, s.in_features(), 1202);
+  const MatrixF g = random_matrix(3, s.out_features_(), 1203);
+  const MatrixF px = AvgPool2D::pool(x, s);
+  const MatrixF ug = AvgPool2D::unpool(g, s);
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    lhs += static_cast<double>(px.data()[i]) * g.data()[i];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x.data()[i]) * ug.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(AvgPool, RejectsNonDividingWindow) {
+  PoolShape s;
+  s.in_h = 5;
+  s.in_w = 4;
+  s.window = 2;
+  EXPECT_THROW(AvgPool2D{s}, InvalidArgument);
+}
+
+TEST(SecureAvgPool, SharesReconstructToPlainPool) {
+  PoolShape s;
+  s.in_h = 8;
+  s.in_w = 8;
+  s.window = 2;
+  const MatrixF x = random_matrix(4, s.in_features(), 1204);
+  const MatrixF expected = AvgPool2D::pool(x, s);
+
+  auto xs = mpc::share_float(x, 1205);
+  SecureAvgPool2D l0(s), l1(s);
+  SecureEnv env{nullptr, true, nullptr};  // no ctx needed: pure local layer
+  const MatrixF y0 = l0.forward(env, xs.s0);
+  const MatrixF y1 = l1.forward(env, xs.s1);
+  expect_near(mpc::reconstruct_float(y0, y1), expected, 1e-4,
+              "secure avg pool");
+
+  // Backward too.
+  const MatrixF g = random_matrix(4, s.out_features_(), 1206);
+  auto gs = mpc::share_float(g, 1207);
+  const MatrixF dx0 = l0.backward(env, gs.s0);
+  const MatrixF dx1 = l1.backward(env, gs.s1);
+  expect_near(mpc::reconstruct_float(dx0, dx1), AvgPool2D::unpool(g, s),
+              1e-4, "secure unpool");
+}
+
+TEST(SecureAvgPool, ConsumesNoTriplets) {
+  PoolShape s;
+  s.in_h = 4;
+  s.in_w = 4;
+  SecureAvgPool2D layer(s);
+  std::vector<mpc::TripletSpec> specs;
+  layer.plan(specs, 16, true);
+  EXPECT_TRUE(specs.empty());
+}
+
+TEST(Momentum, MatchesManualRecursion) {
+  MatrixF w(2, 2, 1.0f);
+  const MatrixF g(2, 2, 0.5f);
+  MomentumState opt(0.9f);
+  // Step 1: v = 0.5; w = 1 - 0.1*0.5 = 0.95
+  opt.step(w, g, 0.1f);
+  EXPECT_NEAR(w(0, 0), 0.95f, 1e-6);
+  // Step 2: v = 0.9*0.5 + 0.5 = 0.95; w = 0.95 - 0.095 = 0.855
+  opt.step(w, g, 0.1f);
+  EXPECT_NEAR(w(0, 0), 0.855f, 1e-6);
+}
+
+TEST(Momentum, SecureSharesTrackPlaintext) {
+  // Apply momentum independently to the two shares; the reconstruction must
+  // equal plaintext momentum (linearity).
+  const MatrixF w0 = random_matrix(4, 4, 1208);
+  MatrixF w_plain = w0;
+  auto w_shares = mpc::share_float(w0, 1209);
+  MomentumState opt_plain(0.9f), opt_s0(0.9f), opt_s1(0.9f);
+
+  for (int step = 0; step < 5; ++step) {
+    const MatrixF g = random_matrix(4, 4, 1210 + step);
+    auto g_shares = mpc::share_float(g, 1300 + step);
+    opt_plain.step(w_plain, g, 0.05f);
+    opt_s0.step(w_shares.s0, g_shares.s0, 0.05f);
+    opt_s1.step(w_shares.s1, g_shares.s1, 0.05f);
+  }
+  expect_near(mpc::reconstruct_float(w_shares.s0, w_shares.s1), w_plain,
+              1e-3, "secure momentum");
+}
+
+TEST(Momentum, IndependentStatePerTensor) {
+  MatrixF w1(2, 2, 0.0f), w2(2, 2, 0.0f);
+  const MatrixF g(2, 2, 1.0f);
+  MomentumState opt(0.5f);
+  opt.step(w1, g, 1.0f);
+  opt.step(w1, g, 1.0f);
+  opt.step(w2, g, 1.0f);
+  // w1 took two steps (velocities 1, 1.5): w1 = -2.5; w2 one step: -1.
+  EXPECT_NEAR(w1(0, 0), -2.5f, 1e-6);
+  EXPECT_NEAR(w2(0, 0), -1.0f, 1e-6);
+  opt.reset();
+  opt.step(w2, g, 1.0f);
+  EXPECT_NEAR(w2(0, 0), -2.0f, 1e-6);  // velocity restarted at g
+}
+
+}  // namespace
+}  // namespace psml::ml

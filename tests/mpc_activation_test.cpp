@@ -1,0 +1,147 @@
+// Secure activation (Eq. 9) and masked-comparison protocol tests.
+#include <gtest/gtest.h>
+
+#include "mpc/activation.hpp"
+#include "mpc/share.hpp"
+#include "mpc/triplet.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::mpc {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+using psml::test::run_parties;
+
+PartyOptions cpu_opts() {
+  PartyOptions opts = PartyOptions::parsecureml();
+  opts.use_gpu = false;
+  opts.adaptive = false;
+  return opts;
+}
+
+TEST(ActivationRef, MatchesEq9) {
+  const MatrixF x{{-1.0f, -0.5f, 0.0f, 0.4f, 0.5f, 2.0f}};
+  const MatrixF y = activation_ref(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y(0, 2), 0.5f);
+  EXPECT_FLOAT_EQ(y(0, 3), 0.9f);
+  EXPECT_FLOAT_EQ(y(0, 5), 1.0f);
+  const MatrixF g = activation_grad_ref(x);
+  EXPECT_FLOAT_EQ(g(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(g(0, 5), 0.0f);
+}
+
+class ActivationSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ActivationSizes, SecureMatchesReference) {
+  const auto [m, n] = GetParam();
+  // Pre-activations spanning all three regions.
+  const MatrixF x = random_matrix(m, n, 301, -2.0f, 2.0f);
+  const MatrixF expected = activation_ref(x);
+  const MatrixF expected_grad = activation_grad_ref(x);
+
+  TripletDealer dealer(nullptr, {false, false, 91});
+  auto [a0, a1] = dealer.make_activation(m, n);
+  const auto sx = share_float(x, 31);
+
+  ActivationResult r0, r1;
+  run_parties(
+      cpu_opts(),
+      [&](PartyContext& ctx) { r0 = secure_activation(ctx, sx.s0, a0); },
+      [&](PartyContext& ctx) { r1 = secure_activation(ctx, sx.s1, a1); });
+
+  // Boundary elements can flip to the adjacent region when the share noise
+  // crosses the threshold; with inputs drawn continuously this happens with
+  // probability ~0. Values must reconstruct to f(x).
+  expect_near(reconstruct_float(r0.value_share, r1.value_share), expected,
+              2e-3, "activation value");
+  // Both servers computed the same public mask, equal to f'(x).
+  expect_near(r0.grad_mask, r1.grad_mask, 0.0, "masks agree");
+  expect_near(r0.grad_mask, expected_grad, 0.0, "mask correct");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ActivationSizes,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                                           std::pair<std::size_t, std::size_t>{7, 13},
+                                           std::pair<std::size_t, std::size_t>{64, 10},
+                                           std::pair<std::size_t, std::size_t>{128, 64}));
+
+TEST(Activation, SaturatedRegionsShareCorrectly) {
+  // All-high input: f = 1 everywhere; shares must be (0, 1) per element.
+  MatrixF x(4, 4, 5.0f);
+  TripletDealer dealer(nullptr, {false, false, 92});
+  auto [a0, a1] = dealer.make_activation(4, 4);
+  const auto sx = share_float(x, 32);
+  ActivationResult r0, r1;
+  run_parties(
+      cpu_opts(),
+      [&](PartyContext& ctx) { r0 = secure_activation(ctx, sx.s0, a0); },
+      [&](PartyContext& ctx) { r1 = secure_activation(ctx, sx.s1, a1); });
+  for (std::size_t i = 0; i < r0.value_share.size(); ++i) {
+    EXPECT_FLOAT_EQ(r0.value_share.data()[i], 0.0f);
+    EXPECT_FLOAT_EQ(r1.value_share.data()[i], 1.0f);
+    EXPECT_FLOAT_EQ(r0.grad_mask.data()[i], 0.0f);
+  }
+}
+
+TEST(Activation, MaterialShapeMismatchThrows) {
+  TripletDealer dealer(nullptr, {false, false, 93});
+  auto [a0, a1] = dealer.make_activation(3, 3);
+  const MatrixF x = random_matrix(4, 3, 302);
+  EXPECT_THROW(
+      run_parties(
+          cpu_opts(),
+          [&](PartyContext& ctx) { secure_activation(ctx, x, a0); },
+          [&](PartyContext& ctx) { secure_activation(ctx, x, a1); }),
+      InvalidArgument);
+}
+
+TEST(SecureLessThan, ComputesPublicMask) {
+  const MatrixF x{{-3.0f, 0.2f, 0.9f, 1.0f, 1.5f, 42.0f}};
+  TripletDealer dealer(nullptr, {false, false, 94});
+  auto [a0, a1] = dealer.make_activation(1, 6);
+  const auto sx = share_float(x, 33);
+  MatrixF m0, m1;
+  run_parties(
+      cpu_opts(),
+      [&](PartyContext& ctx) {
+        m0 = secure_less_than(ctx, sx.s0, 1.0f, a0);
+      },
+      [&](PartyContext& ctx) {
+        m1 = secure_less_than(ctx, sx.s1, 1.0f, a1);
+      });
+  expect_near(m0, m1, 0.0, "masks agree");
+  EXPECT_FLOAT_EQ(m0(0, 0), 1.0f);  // -3 < 1
+  EXPECT_FLOAT_EQ(m0(0, 1), 1.0f);  // 0.2 < 1
+  EXPECT_FLOAT_EQ(m0(0, 2), 1.0f);  // 0.9 < 1
+  EXPECT_FLOAT_EQ(m0(0, 4), 0.0f);  // 1.5 >= 1
+  EXPECT_FLOAT_EQ(m0(0, 5), 0.0f);  // 42 >= 1
+}
+
+TEST(Activation, FromStoreConsumesMaterial) {
+  TripletDealer dealer(nullptr, {false, false, 95});
+  auto [st0, st1] = dealer.generate({{TripletKind::kActivation, 2, 0, 2}});
+  const MatrixF x = random_matrix(2, 2, 303);
+  const auto sx = share_float(x, 34);
+  ActivationResult r0, r1;
+  run_parties(
+      cpu_opts(),
+      [&](PartyContext& ctx) {
+        ctx.set_triplets(std::move(st0));
+        r0 = secure_activation(ctx, sx.s0);
+        EXPECT_EQ(ctx.triplets().activation_size(), 0u);
+      },
+      [&](PartyContext& ctx) {
+        ctx.set_triplets(std::move(st1));
+        r1 = secure_activation(ctx, sx.s1);
+      });
+  expect_near(reconstruct_float(r0.value_share, r1.value_share),
+              activation_ref(x), 2e-3, "store-driven activation");
+}
+
+}  // namespace
+}  // namespace psml::mpc

@@ -1,0 +1,134 @@
+// Secret-sharing and fixed-point ring tests.
+#include <gtest/gtest.h>
+
+#include "mpc/ring.hpp"
+#include "mpc/share.hpp"
+#include "tensor/gemm.hpp"
+#include "test_util.hpp"
+
+namespace psml::mpc {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+TEST(ShareFloat, ReconstructIdentity) {
+  const MatrixF x = random_matrix(33, 21, 101);
+  const auto p = share_float(x, 5);
+  expect_near(reconstruct_float(p.s0, p.s1), x, 1e-5, "float shares");
+}
+
+TEST(ShareFloat, SharesLookRandom) {
+  // A share alone must not correlate with the secret: correlation of s0 with
+  // x over many entries should be near zero relative to the mask radius.
+  MatrixF x(1, 10000, 0.75f);  // constant secret
+  const auto p = share_float(x, 6);
+  double mean = 0;
+  for (std::size_t i = 0; i < p.s0.size(); ++i) mean += p.s0.data()[i];
+  mean /= static_cast<double>(p.s0.size());
+  EXPECT_NEAR(mean, 0.0, 0.5);  // uniform in [-16, 16]
+  // And the share range actually uses the mask radius.
+  double max_abs = 0;
+  for (std::size_t i = 0; i < p.s0.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(double{p.s0.data()[i]}));
+  }
+  EXPECT_GT(max_abs, kFloatMaskRadius / 2);
+}
+
+TEST(ShareFloat, DifferentSeedsDifferentShares) {
+  const MatrixF x = random_matrix(8, 8, 102);
+  const auto p1 = share_float(x, 1);
+  const auto p2 = share_float(x, 2);
+  EXPECT_FALSE(p1.s0 == p2.s0);
+}
+
+TEST(ShareRing, ReconstructExact) {
+  MatrixU64 x(17, 9);
+  rng::fill_uniform_u64_par(x, 103);
+  const auto p = share_ring(x, 7);
+  EXPECT_TRUE(reconstruct_ring(p.s0, p.s1) == x);
+}
+
+TEST(ShareRing, LinearityOfShares) {
+  // share(a) + share(b) reconstructs to a + b.
+  MatrixU64 a(5, 5), b(5, 5);
+  rng::fill_uniform_u64_par(a, 104);
+  rng::fill_uniform_u64_par(b, 105);
+  const auto pa = share_ring(a, 8);
+  const auto pb = share_ring(b, 9);
+  const MatrixU64 s0 = ring_add(pa.s0, pb.s0);
+  const MatrixU64 s1 = ring_add(pa.s1, pb.s1);
+  EXPECT_TRUE(reconstruct_ring(s0, s1) == ring_add(a, b));
+}
+
+TEST(Fixed, ScalarCodecRoundTrip) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.125, 3.14159, -123.456, 1e-4}) {
+    EXPECT_NEAR(decode_fixed(encode_fixed(v)), v, 1.0 / kFixedScale) << v;
+  }
+}
+
+TEST(Fixed, MatrixCodecRoundTrip) {
+  const MatrixF x = random_matrix(13, 11, 106, -10.0f, 10.0f);
+  const MatrixF back = decode_fixed(encode_fixed(x));
+  expect_near(x, back, 1.0 / kFixedScale, "fixed codec");
+}
+
+TEST(Fixed, NegativeValuesTwoComplement) {
+  const std::uint64_t enc = encode_fixed(-2.5);
+  EXPECT_LT(static_cast<std::int64_t>(enc), 0);
+  EXPECT_DOUBLE_EQ(decode_fixed(enc), -2.5);
+}
+
+TEST(Ring, AddSubWraparound) {
+  MatrixU64 a(1, 1, 0), b(1, 1, 0);
+  a.data()[0] = UINT64_MAX;
+  b.data()[0] = 2;
+  EXPECT_EQ(ring_add(a, b).data()[0], 1u);
+  a.data()[0] = 0;
+  b.data()[0] = 1;
+  EXPECT_EQ(ring_sub(a, b).data()[0], UINT64_MAX);
+}
+
+TEST(Ring, MatmulMatchesFloatForSmallValues) {
+  const MatrixF af = random_matrix(9, 7, 107);
+  const MatrixF bf = random_matrix(7, 5, 108);
+  const MatrixU64 a = encode_fixed(af);
+  const MatrixU64 b = encode_fixed(bf);
+  MatrixU64 c = ring_matmul(a, b);
+  // Product carries 2*kFracBits fractional bits; truncate both... this is
+  // plaintext so a single arithmetic shift is exact.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c.data()[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(c.data()[i]) >> kFracBits);
+  }
+  const MatrixF ref = tensor::matmul(af, bf);
+  expect_near(decode_fixed(c), ref, 7.0 * 2.0 / kFixedScale, "ring matmul");
+}
+
+TEST(Ring, TruncationPairApproximatesShift) {
+  // trunc(v0) + trunc(v1) must equal trunc(v0 + v1) within 1 ulp.
+  const MatrixF xf = random_matrix(50, 50, 109, -100.0f, 100.0f);
+  const MatrixU64 x = encode_fixed(xf);
+  // Scale up as if after a product.
+  MatrixU64 scaled(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    scaled.data()[i] = x.data()[i] << kFracBits;
+  }
+  const auto p = share_ring(scaled, 10);
+  const MatrixU64 t0 = truncate_share(p.s0, 0);
+  const MatrixU64 t1 = truncate_share(p.s1, 1);
+  const MatrixU64 rec = reconstruct_ring(t0, t1);
+  const MatrixF back = decode_fixed(rec);
+  expect_near(back, xf, 2.5 / kFixedScale, "truncation");
+}
+
+TEST(Ring, MatmulDimMismatchThrows) {
+  EXPECT_THROW(ring_matmul(MatrixU64(2, 3), MatrixU64(4, 2)), InvalidArgument);
+}
+
+TEST(Ring, TruncateRejectsBadParty) {
+  EXPECT_THROW(truncate_share(MatrixU64(1, 1), 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psml::mpc

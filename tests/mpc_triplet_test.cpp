@@ -1,0 +1,138 @@
+// Triplet dealer tests: Beaver invariants, determinism, store accounting,
+// recycle semantics, plan generation.
+#include <gtest/gtest.h>
+
+#include "mpc/triplet.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::mpc {
+namespace {
+
+using psml::test::expect_near;
+
+TEST(Dealer, MatmulTripletInvariant) {
+  TripletDealer dealer(nullptr, {false, false, 801});
+  for (const auto& [m, k, n] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{1, 1, 1},
+        {5, 9, 3},
+        {32, 64, 16}}) {
+    auto [t0, t1] = dealer.make_matmul(m, k, n);
+    const MatrixF u = reconstruct_float(t0.u, t1.u);
+    const MatrixF v = reconstruct_float(t0.v, t1.v);
+    const MatrixF z = reconstruct_float(t0.z, t1.z);
+    expect_near(z, tensor::matmul(u, v), 1e-3 * static_cast<double>(k) + 1e-3,
+                "Z = U x V");
+  }
+}
+
+TEST(Dealer, ElementwiseTripletInvariant) {
+  TripletDealer dealer(nullptr, {false, false, 802});
+  auto [t0, t1] = dealer.make_elementwise(7, 11);
+  const MatrixF u = reconstruct_float(t0.u, t1.u);
+  const MatrixF v = reconstruct_float(t0.v, t1.v);
+  const MatrixF z = reconstruct_float(t0.z, t1.z);
+  MatrixF expected;
+  tensor::hadamard(u, v, expected);
+  expect_near(z, expected, 1e-3, "Z = U .* V");
+}
+
+TEST(Dealer, ActivationMasksArePositive) {
+  TripletDealer dealer(nullptr, {false, false, 803});
+  auto [a0, a1] = dealer.make_activation(9, 9);
+  const MatrixF s_lo = reconstruct_float(a0.s_lo, a1.s_lo);
+  const MatrixF s_hi = reconstruct_float(a0.s_hi, a1.s_hi);
+  for (std::size_t i = 0; i < s_lo.size(); ++i) {
+    ASSERT_GE(s_lo.data()[i], 0.5f - 1e-3f);
+    ASSERT_LE(s_lo.data()[i], 2.0f + 1e-3f);
+    ASSERT_GT(s_hi.data()[i], 0.0f);
+  }
+}
+
+TEST(Dealer, DeterministicInSeed) {
+  TripletDealer d1(nullptr, {false, false, 804});
+  TripletDealer d2(nullptr, {false, false, 804});
+  auto [a0, a1] = d1.make_matmul(4, 4, 4);
+  auto [b0, b1] = d2.make_matmul(4, 4, 4);
+  EXPECT_TRUE(a0.u == b0.u);
+  EXPECT_TRUE(a1.z == b1.z);
+  TripletDealer d3(nullptr, {false, false, 805});
+  auto [c0, c1] = d3.make_matmul(4, 4, 4);
+  EXPECT_FALSE(a0.u == c0.u);
+}
+
+TEST(Dealer, GpuAndCpuDealersAgreeOnAlgebra) {
+  // Same seed, different engines: the triplets differ only in Z rounding.
+  TripletDealer cpu(nullptr, {false, false, 806});
+  TripletDealer gpu(&sgpu::Device::global(), {true, false, 806});
+  auto [c0, c1] = cpu.make_matmul(64, 96, 64);
+  auto [g0, g1] = gpu.make_matmul(64, 96, 64);
+  EXPECT_TRUE(c0.u == g0.u);  // same RNG stream
+  expect_near(reconstruct_float(c0.z, c1.z), reconstruct_float(g0.z, g1.z),
+              1e-2, "Z agree across engines");
+}
+
+TEST(Store, BytesAccounting) {
+  TripletDealer dealer(nullptr, {false, false, 807});
+  auto [st0, st1] = dealer.generate({{TripletKind::kMatMul, 4, 8, 2}});
+  // u 4x8 + v 8x2 + z 4x2 = 32+16+8 floats = 224 bytes.
+  EXPECT_EQ(st0.bytes(), 224u);
+  EXPECT_EQ(st1.bytes(), 224u);
+}
+
+TEST(Store, GenerateHonorsPlanOrderAndKinds) {
+  TripletDealer dealer(nullptr, {false, false, 808});
+  auto [st0, st1] = dealer.generate({{TripletKind::kMatMul, 2, 3, 4},
+                                     {TripletKind::kElementwise, 5, 0, 6},
+                                     {TripletKind::kMatMul, 7, 8, 9},
+                                     {TripletKind::kActivation, 2, 0, 2}});
+  EXPECT_EQ(st0.matmul_size(), 2u);
+  EXPECT_EQ(st0.elementwise_size(), 1u);
+  EXPECT_EQ(st0.activation_size(), 1u);
+  EXPECT_EQ(st0.pop_matmul().u.rows(), 2u);
+  EXPECT_EQ(st0.pop_matmul().u.rows(), 7u);
+  EXPECT_EQ(st0.pop_elementwise().u.rows(), 5u);
+  EXPECT_TRUE(st0.empty() == false);  // activation still present
+  (void)st0.pop_activation();
+  EXPECT_TRUE(st0.empty());
+}
+
+TEST(Store, RecycleTogglesAndResets) {
+  TripletDealer dealer(nullptr, {false, false, 809});
+  auto [st0, st1] = dealer.generate({{TripletKind::kMatMul, 2, 2, 2},
+                                     {TripletKind::kMatMul, 3, 3, 3}});
+  st0.set_recycle(true);
+  EXPECT_TRUE(st0.recycle());
+  EXPECT_EQ(st0.pop_matmul().u.rows(), 2u);
+  // Re-enabling resets cursors to the front.
+  st0.set_recycle(true);
+  EXPECT_EQ(st0.pop_matmul().u.rows(), 2u);
+  // Disabling recycle goes back to consuming pops.
+  st0.set_recycle(false);
+  EXPECT_EQ(st0.pop_matmul().u.rows(), 2u);
+  EXPECT_EQ(st0.matmul_size(), 1u);
+}
+
+TEST(Dealer, GpuWithoutDeviceRejected) {
+  EXPECT_THROW(TripletDealer(nullptr, {true, false, 810}), InvalidArgument);
+}
+
+TEST(Dealer, SharesOfTripletLookIndependent) {
+  // Each share alone must be decorrelated from U: correlation over many
+  // entries close to zero relative to share scale.
+  TripletDealer dealer(nullptr, {false, false, 811});
+  auto [t0, t1] = dealer.make_matmul(64, 64, 4);
+  const MatrixF u = reconstruct_float(t0.u, t1.u);
+  double dot = 0, nu = 0, ns = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    dot += static_cast<double>(u.data()[i]) * t0.u.data()[i];
+    nu += static_cast<double>(u.data()[i]) * u.data()[i];
+    ns += static_cast<double>(t0.u.data()[i]) * t0.u.data()[i];
+  }
+  const double corr = dot / std::sqrt(nu * ns);
+  EXPECT_LT(std::abs(corr), 0.1);
+}
+
+}  // namespace
+}  // namespace psml::mpc

@@ -1,0 +1,266 @@
+// Channel tests: local pair semantics, tag-selective receive, TCP loopback,
+// matrix serialization, traffic stats, close/error behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/local_channel.hpp"
+#include "net/serialize.hpp"
+#include "net/tcp_channel.hpp"
+#include "test_util.hpp"
+
+namespace psml::net {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> init) {
+  return std::vector<std::uint8_t>(init);
+}
+
+TEST(LocalChannel, SendRecvRoundTrip) {
+  auto pair = LocalChannel::make_pair();
+  pair.a->send(7, bytes({1, 2, 3}));
+  const Message m = pair.b->recv(7);
+  EXPECT_EQ(m.tag, 7u);
+  EXPECT_EQ(m.payload, bytes({1, 2, 3}));
+}
+
+TEST(LocalChannel, BothDirections) {
+  auto pair = LocalChannel::make_pair();
+  pair.a->send(1, bytes({10}));
+  pair.b->send(2, bytes({20}));
+  EXPECT_EQ(pair.b->recv(1).payload, bytes({10}));
+  EXPECT_EQ(pair.a->recv(2).payload, bytes({20}));
+}
+
+TEST(LocalChannel, TagSelectiveReceiveBuffersOthers) {
+  auto pair = LocalChannel::make_pair();
+  pair.a->send(1, bytes({1}));
+  pair.a->send(2, bytes({2}));
+  pair.a->send(3, bytes({3}));
+  // Receive out of order; earlier messages are buffered, not lost.
+  EXPECT_EQ(pair.b->recv(3).payload, bytes({3}));
+  EXPECT_EQ(pair.b->recv(1).payload, bytes({1}));
+  EXPECT_EQ(pair.b->recv(2).payload, bytes({2}));
+}
+
+TEST(LocalChannel, RecvAnyReturnsInOrder) {
+  auto pair = LocalChannel::make_pair();
+  pair.a->send(5, bytes({5}));
+  pair.a->send(6, bytes({6}));
+  EXPECT_EQ(pair.b->recv_any().tag, 5u);
+  EXPECT_EQ(pair.b->recv_any().tag, 6u);
+}
+
+TEST(LocalChannel, FifoPerTag) {
+  auto pair = LocalChannel::make_pair();
+  pair.a->send(9, bytes({1}));
+  pair.a->send(9, bytes({2}));
+  EXPECT_EQ(pair.b->recv(9).payload, bytes({1}));
+  EXPECT_EQ(pair.b->recv(9).payload, bytes({2}));
+}
+
+TEST(LocalChannel, CloseUnblocksReceiver) {
+  auto pair = LocalChannel::make_pair();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pair.a->close();
+  });
+  EXPECT_THROW(pair.b->recv(1), NetworkError);
+  closer.join();
+}
+
+TEST(LocalChannel, SendAfterCloseThrows) {
+  auto pair = LocalChannel::make_pair();
+  pair.a->close();
+  EXPECT_THROW(pair.a->send(1, bytes({1})), NetworkError);
+}
+
+TEST(LocalChannel, StatsCountTraffic) {
+  auto pair = LocalChannel::make_pair();
+  pair.a->send(1, bytes({1, 2, 3, 4}));
+  pair.b->recv(1);
+  EXPECT_EQ(pair.a->stats().bytes_sent.load(), 4u);
+  EXPECT_EQ(pair.a->stats().messages_sent.load(), 1u);
+  EXPECT_EQ(pair.b->stats().bytes_received.load(), 4u);
+  EXPECT_EQ(pair.b->stats().messages_received.load(), 1u);
+}
+
+TEST(LocalChannel, BlockingRecvWaitsForMessage) {
+  auto pair = LocalChannel::make_pair();
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    pair.a->send(42, bytes({9}));
+  });
+  const Message m = pair.b->recv(42);  // must block until sender runs
+  EXPECT_EQ(m.payload, bytes({9}));
+  sender.join();
+}
+
+TEST(Serialize, MatrixF32RoundTrip) {
+  const MatrixF m = random_matrix(17, 23, 71);
+  const auto buf = encode_matrix(m);
+  EXPECT_EQ(peek_kind(buf.data(), buf.size()), PayloadKind::kDenseF32);
+  const MatrixF back = decode_matrix_f32(buf.data(), buf.size());
+  expect_near(m, back, 0.0, "f32 round trip");
+}
+
+TEST(Serialize, MatrixU64RoundTrip) {
+  MatrixU64 m(5, 7);
+  rng::fill_uniform_u64_par(m, 3);
+  const auto buf = encode_matrix(m);
+  const MatrixU64 back = decode_matrix_u64(buf.data(), buf.size());
+  EXPECT_TRUE(m == back);
+}
+
+TEST(Serialize, CsrPayloadDecodesToDense) {
+  MatrixF m(6, 6, 0.0f);
+  m(1, 2) = 3.5f;
+  m(4, 0) = -1.0f;
+  const auto csr = sparse::Csr::from_dense(m);
+  const auto buf = encode_csr(csr);
+  EXPECT_EQ(peek_kind(buf.data(), buf.size()), PayloadKind::kCsrF32);
+  expect_near(decode_matrix_f32(buf.data(), buf.size()), m, 0.0, "csr");
+}
+
+TEST(Serialize, MalformedPayloadThrows) {
+  std::vector<std::uint8_t> tiny(3, 0);
+  EXPECT_THROW(decode_matrix_f32(tiny.data(), tiny.size()), ProtocolError);
+
+  const MatrixF m = random_matrix(4, 4, 72);
+  auto buf = encode_matrix(m);
+  buf.pop_back();
+  EXPECT_THROW(decode_matrix_f32(buf.data(), buf.size()), ProtocolError);
+
+  // Wrong-kind decode.
+  const auto fbuf = encode_matrix(m);
+  EXPECT_THROW(decode_matrix_u64(fbuf.data(), fbuf.size()), ProtocolError);
+}
+
+TEST(Serialize, ChannelHelpers) {
+  auto pair = LocalChannel::make_pair();
+  const MatrixF m = random_matrix(9, 4, 73);
+  send_matrix(*pair.a, 11, m);
+  expect_near(recv_matrix_f32(*pair.b, 11), m, 0.0, "channel matrix");
+}
+
+TEST(LocalChannel, ConcurrentTaggedRecvDoesNotHoldLockAcrossBlock) {
+  // Regression test for the cross-party double-pipeline deadlock: two
+  // threads per endpoint, each waiting for a tag whose sender is the peer's
+  // *other* thread. If recv() held its lock while blocked on the transport,
+  // this cycle deadlocks:
+  //   A.t1 waits 1 (sent by B.t2 after B.t2 gets 4)
+  //   B.t1 waits 3 (sent by A.t2 after A.t2 gets 2)
+  //   A.t2 needs the lock held by A.t1 to read its already-arrived 2
+  //   B.t2 needs the lock held by B.t1 to read its already-arrived 4
+  auto pair = LocalChannel::make_pair();
+  pair.a->send(4, bytes({4}));  // for B.t2
+  pair.b->send(2, bytes({2}));  // for A.t2
+
+  std::atomic<int> done{0};
+  std::thread a1([&] {
+    EXPECT_EQ(pair.a->recv(1).payload, bytes({1}));
+    done.fetch_add(1);
+  });
+  std::thread b1([&] {
+    EXPECT_EQ(pair.b->recv(3).payload, bytes({3}));
+    done.fetch_add(1);
+  });
+  // Give t1 threads time to enter recv and become drainers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread a2([&] {
+    EXPECT_EQ(pair.a->recv(2).payload, bytes({2}));
+    pair.a->send(3, bytes({3}));
+    done.fetch_add(1);
+  });
+  std::thread b2([&] {
+    EXPECT_EQ(pair.b->recv(4).payload, bytes({4}));
+    pair.b->send(1, bytes({1}));
+    done.fetch_add(1);
+  });
+  a1.join();
+  b1.join();
+  a2.join();
+  b2.join();
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(LocalChannel, ManyThreadsManyTagsOneChannel) {
+  // N threads per side, each exchanging on its own tag, interleaved.
+  auto pair = LocalChannel::make_pair();
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const Tag tag = static_cast<Tag>(100 + t);
+        pair.a->send(tag, bytes({static_cast<std::uint8_t>(r)}));
+        const auto m = pair.a->recv(tag);
+        if (m.payload[0] != static_cast<std::uint8_t>(r)) errors.fetch_add(1);
+      }
+    });
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const Tag tag = static_cast<Tag>(100 + t);
+        const auto m = pair.b->recv(tag);
+        if (m.payload[0] != static_cast<std::uint8_t>(r)) errors.fetch_add(1);
+        pair.b->send(tag, m.payload);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(TcpChannel, LoopbackRoundTrip) {
+  const std::uint16_t port = 39251;
+  std::shared_ptr<Channel> server;
+  std::thread listener([&] { server = TcpChannel::listen(port); });
+  auto client = TcpChannel::connect("127.0.0.1", port, 5.0);
+  listener.join();
+
+  const MatrixF m = random_matrix(31, 17, 74);
+  send_matrix(*client, 5, m);
+  expect_near(recv_matrix_f32(*server, 5), m, 0.0, "tcp matrix");
+
+  // Reverse direction + tag reorder across TCP.
+  server->send(8, bytes({8}));
+  server->send(9, bytes({9}));
+  EXPECT_EQ(client->recv(9).payload, bytes({9}));
+  EXPECT_EQ(client->recv(8).payload, bytes({8}));
+}
+
+TEST(TcpChannel, LargeTransfer) {
+  const std::uint16_t port = 39252;
+  std::shared_ptr<Channel> server;
+  std::thread listener([&] { server = TcpChannel::listen(port); });
+  auto client = TcpChannel::connect("127.0.0.1", port, 5.0);
+  listener.join();
+
+  const MatrixF m = random_matrix(512, 512, 75);  // 1 MiB payload
+  std::thread sender([&] { send_matrix(*client, 1, m); });
+  expect_near(recv_matrix_f32(*server, 1), m, 0.0, "tcp 1MiB");
+  sender.join();
+}
+
+TEST(TcpChannel, PeerCloseRaises) {
+  const std::uint16_t port = 39253;
+  std::shared_ptr<Channel> server;
+  std::thread listener([&] { server = TcpChannel::listen(port); });
+  auto client = TcpChannel::connect("127.0.0.1", port, 5.0);
+  listener.join();
+  client->close();
+  EXPECT_THROW(server->recv(1), NetworkError);
+}
+
+TEST(TcpChannel, ConnectTimeoutOnDeadPort) {
+  EXPECT_THROW(TcpChannel::connect("127.0.0.1", 39254, 0.3), NetworkError);
+}
+
+}  // namespace
+}  // namespace psml::net

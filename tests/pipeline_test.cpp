@@ -1,0 +1,82 @@
+// AsyncLane (layer-pipeline executor) tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/timer.hpp"
+#include "pipeline/async_lane.hpp"
+
+namespace psml::pipeline {
+namespace {
+
+TEST(AsyncLane, ReturnsResults) {
+  AsyncLane lane;
+  auto f = lane.run([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(AsyncLane, ExecutesFifo) {
+  AsyncLane lane;
+  std::vector<int> order;
+  std::mutex m;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(lane.run([&, i] {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(i);
+    }));
+  }
+  for (auto& f : futs) f.wait();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(AsyncLane, OverlapsWithCaller) {
+  // Work on the lane runs concurrently with caller work: total elapsed must
+  // be close to max(lane, caller), not their sum.
+  AsyncLane lane;
+  Timer t;
+  auto f = lane.run(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(60)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  f.wait();
+  EXPECT_LT(t.seconds(), 0.11);
+}
+
+TEST(AsyncLane, PropagatesExceptions) {
+  AsyncLane lane;
+  auto f = lane.run([]() -> int { throw std::runtime_error("lane boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(AsyncLane, DrainWaitsForAll) {
+  AsyncLane lane;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    lane.run([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  lane.drain();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(AsyncLane, DestructorJoinsCleanly) {
+  std::atomic<int> done{0};
+  {
+    AsyncLane lane;
+    for (int i = 0; i < 5; ++i) lane.run([&] { done.fetch_add(1); });
+    lane.drain();
+  }
+  EXPECT_EQ(done.load(), 5);
+}
+
+TEST(AsyncLane, MoveOnlyResults) {
+  AsyncLane lane;
+  auto f = lane.run([] { return std::make_unique<int>(7); });
+  EXPECT_EQ(*f.get(), 7);
+}
+
+}  // namespace
+}  // namespace psml::pipeline

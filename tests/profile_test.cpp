@@ -1,0 +1,109 @@
+// Profiler and adaptive-dispatch tests.
+#include <gtest/gtest.h>
+
+#include "profile/adaptive.hpp"
+#include "profile/profiler.hpp"
+
+namespace psml::profile {
+namespace {
+
+TEST(Profiler, AccumulatesPhases) {
+  Profiler p;
+  p.add("phase_a", 1.0);
+  p.add("phase_a", 2.0);
+  p.add("phase_b", 0.5);
+  EXPECT_DOUBLE_EQ(p.total("phase_a"), 3.0);
+  EXPECT_DOUBLE_EQ(p.total("phase_b"), 0.5);
+  EXPECT_DOUBLE_EQ(p.total("missing"), 0.0);
+  const auto report = p.report();
+  EXPECT_EQ(report.at("phase_a").count, 2u);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.total("phase_a"), 0.0);
+}
+
+TEST(Profiler, ScopedPhaseRecords) {
+  Profiler p;
+  {
+    ScopedPhase sp(p, "scoped");
+    volatile double x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + 1;
+  }
+  EXPECT_GT(p.total("scoped"), 0.0);
+  EXPECT_EQ(p.report().at("scoped").count, 1u);
+}
+
+TEST(Profiler, ThreadSafeAccumulation) {
+  Profiler p;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&p] {
+      for (int i = 0; i < 1000; ++i) p.add("conc", 0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(p.total("conc"), 4.0, 1e-9);
+  EXPECT_EQ(p.report().at("conc").count, 4000u);
+}
+
+TEST(Adaptive, UncalibratedUsesStaticThreshold) {
+  AdaptiveDispatch d;
+  EXPECT_FALSE(d.model().calibrated);
+  EXPECT_FALSE(d.decide(8, 8, 8).use_gpu);        // tiny -> CPU
+  EXPECT_TRUE(d.decide(1024, 1024, 1024).use_gpu);  // big -> GPU
+}
+
+TEST(Adaptive, CalibratedModelPrefersCpuForTinyGpuForHuge) {
+  AdaptiveDispatch d;
+  d.calibrate(sgpu::Device::global());
+  ASSERT_TRUE(d.model().calibrated);
+  EXPECT_GE(d.model().cpu_sec_per_flop, 0.0);
+
+  const auto tiny = d.decide(4, 4, 4);
+  const auto huge = d.decide(4096, 4096, 4096);
+  // Estimated costs must be monotone in problem size.
+  EXPECT_LT(tiny.est_cpu_sec, huge.est_cpu_sec);
+  EXPECT_LT(tiny.est_gpu_sec, huge.est_gpu_sec);
+}
+
+TEST(Adaptive, ManualModelRespected) {
+  AdaptiveDispatch d;
+  AdaptiveDispatch::Model m;
+  m.calibrated = true;
+  m.cpu_sec_per_flop = 1e-9;
+  m.gpu_sec_per_flop = 1e-11;
+  m.gpu_overhead_sec = 1e-3;
+  d.set_model(m);
+  // 2*8^3 = 1024 flops: CPU ~1us, GPU overhead 1ms -> CPU wins.
+  EXPECT_FALSE(d.decide(8, 8, 8).use_gpu);
+  // 2*2048^3 ~ 1.7e10 flops: CPU ~17s, GPU ~0.17s -> GPU wins.
+  EXPECT_TRUE(d.decide(2048, 2048, 2048).use_gpu);
+}
+
+TEST(Adaptive, CrossoverExistsWithOverheadModel) {
+  // With CPU slope > GPU slope and positive GPU overhead there must be a
+  // crossover size: small -> CPU, large -> GPU, monotone switch.
+  AdaptiveDispatch d;
+  AdaptiveDispatch::Model m;
+  m.calibrated = true;
+  m.cpu_sec_per_flop = 5e-10;
+  m.gpu_sec_per_flop = 5e-11;
+  m.gpu_overhead_sec = 5e-4;
+  m.gpu_sec_per_byte = 1e-10;
+  d.set_model(m);
+  bool seen_cpu = false, seen_gpu = false;
+  bool switched_back = false;
+  bool last_gpu = false;
+  for (std::size_t n = 4; n <= 4096; n *= 2) {
+    const bool gpu = d.decide(n, n, n).use_gpu;
+    if (!gpu) seen_cpu = true;
+    if (gpu) seen_gpu = true;
+    if (last_gpu && !gpu) switched_back = true;
+    last_gpu = gpu;
+  }
+  EXPECT_TRUE(seen_cpu);
+  EXPECT_TRUE(seen_gpu);
+  EXPECT_FALSE(switched_back);
+}
+
+}  // namespace
+}  // namespace psml::profile

@@ -1,0 +1,164 @@
+// RNG tests: determinism of parallel fills, distribution sanity, Philox
+// counter-RNG properties, thread-local generator isolation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "rng/philox.hpp"
+#include "rng/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace psml::rng {
+namespace {
+
+TEST(Rng, ParallelFillDeterministicInSeed) {
+  MatrixF a(123, 77), b(123, 77);
+  fill_uniform_par(a, -1.0f, 1.0f, 42);
+  fill_uniform_par(b, -1.0f, 1.0f, 42);
+  EXPECT_TRUE(a == b);
+  fill_uniform_par(b, -1.0f, 1.0f, 43);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Rng, ParallelNormalDeterministic) {
+  MatrixF a(64, 64), b(64, 64);
+  fill_normal_par(a, 0.0f, 1.0f, 7);
+  fill_normal_par(b, 0.0f, 1.0f, 7);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  MatrixF m(100, 100);
+  fill_uniform_par(m, 2.0f, 5.0f, 1);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_GE(m.data()[i], 2.0f);
+    ASSERT_LT(m.data()[i], 5.0f);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  MatrixF m(200, 200);
+  fill_uniform_par(m, -1.0f, 1.0f, 9);
+  const double mean = tensor::sum(m) / static_cast<double>(m.size());
+  EXPECT_NEAR(mean, 0.0, 0.02);
+}
+
+TEST(Rng, NormalMomentsSane) {
+  MatrixF m(300, 300);
+  fill_normal_par(m, 3.0f, 2.0f, 11);
+  double mean = 0, var = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) mean += m.data()[i];
+  mean /= static_cast<double>(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    var += (m.data()[i] - mean) * (m.data()[i] - mean);
+  }
+  var /= static_cast<double>(m.size());
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliProportion) {
+  MatrixF m(200, 200);
+  fill_bernoulli(m, 0.3);
+  const double p = tensor::sum(m) / static_cast<double>(m.size());
+  EXPECT_NEAR(p, 0.3, 0.02);
+}
+
+TEST(Rng, SerialFillUsesThreadGenerator) {
+  seed_thread_generator(1234);
+  MatrixF a(10, 10);
+  fill_uniform(a, 0.0f, 1.0f);
+  seed_thread_generator(1234);
+  MatrixF b(10, 10);
+  fill_uniform(b, 0.0f, 1.0f);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Rng, ThreadGeneratorsAreIndependentObjects) {
+  std::mt19937* main_gen = &thread_generator();
+  std::mt19937* other_gen = nullptr;
+  std::thread t([&] { other_gen = &thread_generator(); });
+  t.join();
+  EXPECT_NE(main_gen, other_gen);
+}
+
+TEST(Rng, U64FillsNonConstant) {
+  MatrixU64 m(32, 32);
+  fill_uniform_u64_par(m, 5);
+  std::set<std::uint64_t> uniq(m.data(), m.data() + m.size());
+  EXPECT_GT(uniq.size(), m.size() / 2);
+  MatrixU64 m2(32, 32);
+  fill_uniform_u64_par(m2, 5);
+  EXPECT_TRUE(m == m2);
+}
+
+TEST(Rng, RandomSeedVaries) {
+  EXPECT_NE(random_seed(), random_seed());
+}
+
+TEST(Philox, DeterministicInSeedAndCounter) {
+  Philox4x32 g(99);
+  const auto b1 = g.block(0);
+  const auto b2 = g.block(0);
+  EXPECT_EQ(b1, b2);
+  EXPECT_NE(g.block(0), g.block(1));
+  Philox4x32 g2(100);
+  EXPECT_NE(g.block(0), g2.block(0));
+}
+
+TEST(Philox, FillMatchesParallelFill) {
+  MatrixF a(97, 53), b(97, 53);
+  philox_fill_uniform(a, -2.0f, 2.0f, 31337);
+  philox_fill_uniform_par(b, -2.0f, 2.0f, 31337);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Philox, RangeAndDistribution) {
+  MatrixF m(300, 300);
+  philox_fill_uniform_par(m, 0.0f, 1.0f, 77);
+  double mean = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_GE(m.data()[i], 0.0f);
+    ASSERT_LT(m.data()[i], 1.0f);
+    mean += m.data()[i];
+  }
+  mean /= static_cast<double>(m.size());
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(Philox, U64Fill) {
+  MatrixU64 m(11, 13);
+  philox_fill_u64(m, 3);
+  std::set<std::uint64_t> uniq(m.data(), m.data() + m.size());
+  EXPECT_EQ(uniq.size(), m.size());  // collisions astronomically unlikely
+}
+
+TEST(Philox, HighQualityBitMixing) {
+  // Adjacent counters must produce uncorrelated outputs: count bit flips
+  // between consecutive blocks; expect ~50%.
+  Philox4x32 g(1);
+  std::size_t flips = 0, bits = 0;
+  for (std::uint64_t c = 0; c < 1000; ++c) {
+    const auto a = g.block(c);
+    const auto b = g.block(c + 1);
+    for (int i = 0; i < 4; ++i) {
+      flips += static_cast<std::size_t>(__builtin_popcount(a[i] ^ b[i]));
+      bits += 32;
+    }
+  }
+  const double rate = static_cast<double>(flips) / static_cast<double>(bits);
+  EXPECT_NEAR(rate, 0.5, 0.02);
+}
+
+TEST(Rng, LockedFillStillCorrectRange) {
+  MatrixF m(64, 64);
+  fill_uniform_locked(m, 0.0f, 1.0f);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_GE(m.data()[i], 0.0f);
+    ASSERT_LT(m.data()[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace psml::rng

@@ -1,0 +1,166 @@
+// Typed device-op wrapper tests (sgpu/ops.hpp): shape validation, async
+// kernel wrappers, stream round trips, multi-op chains.
+#include <gtest/gtest.h>
+
+#include "sgpu/ops.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::sgpu {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+Device& dev() {
+  static Device d{Device::Config{.compute_threads = 2,
+                                 .pcie_gbps = 0.0,
+                                 .memory_bytes = 256 << 20,
+                                 .launch_overhead_us = 0.0}};
+  return d;
+}
+
+TEST(DeviceMatrix, AccessorsAndAllocation) {
+  DeviceMatrix m(dev(), 10, 20);
+  EXPECT_EQ(m.rows(), 10u);
+  EXPECT_EQ(m.cols(), 20u);
+  EXPECT_EQ(m.size(), 200u);
+  EXPECT_EQ(m.bytes(), 800u);
+  EXPECT_TRUE(m.valid());
+  DeviceMatrix empty;
+  EXPECT_FALSE(empty.valid());
+}
+
+TEST(Ops, UploadShapeMismatchThrows) {
+  DeviceMatrix d(dev(), 4, 4);
+  const MatrixF wrong = random_matrix(4, 5, 1101);
+  EXPECT_THROW(upload_async(dev(), dev().default_stream(), d, wrong),
+               InvalidArgument);
+  MatrixF host(5, 4);
+  EXPECT_THROW(download_async(dev(), dev().default_stream(), host, d),
+               InvalidArgument);
+}
+
+TEST(Ops, GemmShapeValidation) {
+  DeviceMatrix a(dev(), 3, 4), b(dev(), 5, 2), c(dev(), 3, 2);
+  EXPECT_THROW(gemm_async(dev(), dev().default_stream(), a, b, c),
+               InvalidArgument);
+  DeviceMatrix b2(dev(), 4, 2), bad_c(dev(), 2, 2);
+  EXPECT_THROW(gemm_async(dev(), dev().default_stream(), a, b2, bad_c),
+               InvalidArgument);
+}
+
+TEST(Ops, AxpbyAsyncMatchesHost) {
+  const std::size_t n = 33;
+  const MatrixF x = random_matrix(n, n, 1102);
+  const MatrixF y = random_matrix(n, n, 1103);
+  Stream& s = dev().default_stream();
+  DeviceMatrix dx = to_device_async(dev(), s, x);
+  DeviceMatrix dy = to_device_async(dev(), s, y);
+  DeviceMatrix dout(dev(), n, n);
+  axpby_async(dev(), s, -2.0f, dx, dy, dout);
+  MatrixF out(n, n);
+  download_async(dev(), s, out, dout);
+  s.synchronize();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_FLOAT_EQ(out.data()[i], -2.0f * x.data()[i] + y.data()[i]);
+  }
+}
+
+TEST(Ops, AddInplaceAsync) {
+  const MatrixF x = random_matrix(8, 8, 1104);
+  const MatrixF acc0 = random_matrix(8, 8, 1105);
+  Stream& s = dev().default_stream();
+  DeviceMatrix dx = to_device_async(dev(), s, x);
+  DeviceMatrix dacc = to_device_async(dev(), s, acc0);
+  add_inplace_async(dev(), s, dx, dacc);
+  MatrixF out(8, 8);
+  download_async(dev(), s, out, dacc);
+  s.synchronize();
+  MatrixF expected;
+  tensor::add(acc0, x, expected);
+  expect_near(out, expected, 0.0, "add inplace");
+}
+
+TEST(Ops, ActivationAsyncPair) {
+  const MatrixF x = random_matrix(16, 16, 1106, -1.5f, 1.5f);
+  Stream& s = dev().default_stream();
+  DeviceMatrix dx = to_device_async(dev(), s, x);
+  DeviceMatrix dv(dev(), 16, 16), dg(dev(), 16, 16);
+  activation_async(dev(), s, dx, dv);
+  activation_grad_async(dev(), s, dx, dg);
+  MatrixF v(16, 16), g(16, 16);
+  download_async(dev(), s, v, dv);
+  download_async(dev(), s, g, dg);
+  s.synchronize();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float xi = x.data()[i];
+    const float expect_v = xi < -0.5f ? 0.0f : (xi > 0.5f ? 1.0f : xi + 0.5f);
+    ASSERT_FLOAT_EQ(v.data()[i], expect_v);
+    ASSERT_FLOAT_EQ(g.data()[i], (xi > -0.5f && xi < 0.5f) ? 1.0f : 0.0f);
+  }
+}
+
+TEST(Ops, PhiloxAsyncDeterministic) {
+  Stream& s = dev().default_stream();
+  DeviceMatrix d1(dev(), 12, 12), d2(dev(), 12, 12);
+  philox_uniform_async(dev(), s, d1, 0.0f, 1.0f, 999);
+  philox_uniform_async(dev(), s, d2, 0.0f, 1.0f, 999);
+  MatrixF m1(12, 12), m2(12, 12);
+  download_async(dev(), s, m1, d1);
+  download_async(dev(), s, m2, d2);
+  s.synchronize();
+  EXPECT_TRUE(m1 == m2);
+}
+
+TEST(Ops, ChainedOpsOnOneStreamAreOrdered) {
+  // upload -> gemm -> axpby -> download as one in-order stream program.
+  const std::size_t n = 24;
+  const MatrixF a = random_matrix(n, n, 1107);
+  const MatrixF b = random_matrix(n, n, 1108);
+  Stream& s = dev().default_stream();
+  DeviceMatrix da = to_device_async(dev(), s, a);
+  DeviceMatrix db = to_device_async(dev(), s, b);
+  DeviceMatrix dc(dev(), n, n);
+  gemm_async(dev(), s, da, db, dc);
+  DeviceMatrix dout(dev(), n, n);
+  axpby_async(dev(), s, 1.0f, dc, da, dout);  // out = (A x B) + A
+  MatrixF out(n, n);
+  download_async(dev(), s, out, dout);
+  s.synchronize();
+  MatrixF expected;
+  tensor::add(tensor::matmul(a, b), a, expected);
+  expect_near(out, expected, 1e-3, "chained ops");
+}
+
+TEST(Ops, GemmAccumulatesWithBeta) {
+  const std::size_t n = 16;
+  const MatrixF a = random_matrix(n, n, 1109);
+  const MatrixF b = random_matrix(n, n, 1110);
+  const MatrixF c0 = random_matrix(n, n, 1111);
+  Stream& s = dev().default_stream();
+  DeviceMatrix da = to_device_async(dev(), s, a);
+  DeviceMatrix db = to_device_async(dev(), s, b);
+  DeviceMatrix dc = to_device_async(dev(), s, c0);
+  gemm_async(dev(), s, da, db, dc, 2.0f, 1.0f);
+  MatrixF out(n, n);
+  download_async(dev(), s, out, dc);
+  s.synchronize();
+  MatrixF expected = c0;
+  tensor::gemm_parallel(2.0f, a, tensor::Trans::kNo, b, tensor::Trans::kNo,
+                        1.0f, expected);
+  expect_near(out, expected, 1e-3, "beta accumulate");
+}
+
+TEST(Ops, ManySmallBuffersNoLeak) {
+  const std::size_t before = dev().allocated_bytes();
+  for (int i = 0; i < 200; ++i) {
+    DeviceMatrix tmp(dev(), 16, 16);
+    (void)tmp;
+  }
+  EXPECT_EQ(dev().allocated_bytes(), before);
+}
+
+}  // namespace
+}  // namespace psml::sgpu

@@ -1,0 +1,280 @@
+// Simulated-device tests: memory accounting, stream ordering, events,
+// copies, kernel correctness (gemm, gemm_tc, axpby, activation, philox),
+// transfer throttling, and the activity trace.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/half.hpp"
+#include "common/timer.hpp"
+#include "rng/philox.hpp"
+#include "sgpu/device.hpp"
+#include "sgpu/kernels.hpp"
+#include "sgpu/ops.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::sgpu {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+Device::Config small_config() {
+  Device::Config cfg;
+  cfg.compute_threads = 2;
+  cfg.memory_bytes = 8 << 20;  // 8 MiB
+  return cfg;
+}
+
+TEST(Device, MemoryAccounting) {
+  Device dev(small_config());
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  {
+    DeviceBuffer b1 = dev.alloc(1 << 20);
+    EXPECT_EQ(dev.allocated_bytes(), std::size_t{1} << 20);
+    DeviceBuffer b2 = dev.alloc(2 << 20);
+    EXPECT_EQ(dev.allocated_bytes(), std::size_t{3} << 20);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);  // RAII release
+}
+
+TEST(Device, OutOfMemoryThrows) {
+  Device dev(small_config());
+  EXPECT_THROW(dev.alloc(16 << 20), DeviceError);
+  // A failed alloc must not leak accounting.
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(Device, BufferMoveSemantics) {
+  Device dev(small_config());
+  DeviceBuffer a = dev.alloc(1024);
+  void* p = a.raw();
+  DeviceBuffer b = std::move(a);
+  EXPECT_EQ(b.raw(), p);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(dev.allocated_bytes(), 1024u);
+}
+
+TEST(Stream, ExecutesInOrder) {
+  Stream s;
+  std::vector<int> order;
+  std::mutex m;
+  for (int i = 0; i < 100; ++i) {
+    s.enqueue([&, i] {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(i);
+    });
+  }
+  s.synchronize();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Stream, EventOrdersAcrossStreams) {
+  Stream producer, consumer;
+  std::atomic<int> value{0};
+  producer.enqueue([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    value.store(42);
+  });
+  Event e = producer.record_event();
+  consumer.wait_event(e);
+  std::atomic<int> seen{-1};
+  consumer.enqueue([&] { seen.store(value.load()); });
+  consumer.synchronize();
+  EXPECT_EQ(seen.load(), 42);
+}
+
+TEST(Stream, HostWaitOnEvent) {
+  Stream s;
+  s.enqueue([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  Event e = s.record_event();
+  EXPECT_FALSE(e.ready());
+  e.wait();
+  EXPECT_TRUE(e.ready());
+}
+
+TEST(Device, CopyRoundTrip) {
+  Device dev(small_config());
+  const MatrixF src = random_matrix(64, 64, 81);
+  Stream& s = dev.default_stream();
+  DeviceMatrix d(dev, 64, 64);
+  upload_async(dev, s, d, src);
+  MatrixF dst(64, 64);
+  download_async(dev, s, dst, d);
+  s.synchronize();
+  expect_near(src, dst, 0.0, "h2d/d2h round trip");
+}
+
+TEST(Device, CopyBoundsChecked) {
+  Device dev(small_config());
+  DeviceBuffer buf = dev.alloc(64);
+  std::vector<float> host(1000);
+  EXPECT_THROW(
+      dev.memcpy_h2d(dev.default_stream(), buf, host.data(), 4000),
+      InvalidArgument);
+}
+
+class DeviceGemm : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeviceGemm, MatchesCpu) {
+  const std::size_t n = GetParam();
+  const MatrixF a = random_matrix(n, n + 5, 82);
+  const MatrixF b = random_matrix(n + 5, n + 2, 83);
+  const MatrixF ref = tensor::matmul(a, b);
+  expect_near(ref, device_matmul(a, b), 1e-3 * n, "device gemm");
+}
+
+TEST_P(DeviceGemm, TensorCorePathApproximatesFp32) {
+  const std::size_t n = GetParam();
+  const MatrixF a = random_matrix(n, n, 84);
+  const MatrixF b = random_matrix(n, n, 85);
+  const MatrixF ref = tensor::matmul(a, b);
+  const MatrixF tc = device_matmul(a, b, /*tensor_core=*/true);
+  // fp16 mantissa is 10 bits: relative error ~ 2^-10 per product, grows
+  // with sqrt(k); a loose elementwise bound of 0.02 * k covers it.
+  expect_near(ref, tc, 2e-3 * static_cast<double>(n) + 0.05, "gemm_tc");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DeviceGemm,
+                         ::testing::Values(4, 17, 64, 128, 200));
+
+TEST(Kernels, GemmTcExactlyMatchesHalfReference) {
+  // The TC path must equal an explicit fp16-quantize + fp32-accumulate
+  // reference, not merely approximate fp32.
+  Device dev(small_config());
+  const std::size_t m = 9, k = 13, n = 11;
+  const MatrixF a = random_matrix(m, k, 86);
+  const MatrixF b = random_matrix(k, n, 87);
+  MatrixF ref(m, n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = half_bits_to_float(float_to_half_bits(a(i, kk)));
+        const float bv = half_bits_to_float(float_to_half_bits(b(kk, j)));
+        acc += av * bv;
+      }
+      ref(i, j) = acc;
+    }
+  }
+  MatrixF c(m, n, 0.0f);
+  k_gemm_tc(dev, a.data(), b.data(), c.data(), m, n, k, 1.0f, 0.0f);
+  expect_near(ref, c, 1e-5, "tc vs half reference");
+}
+
+TEST(Kernels, Axpby) {
+  Device dev(small_config());
+  const MatrixF x = random_matrix(10, 10, 88);
+  const MatrixF y = random_matrix(10, 10, 89);
+  MatrixF out(10, 10);
+  k_axpby(dev, -1.0f, x.data(), y.data(), out.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_FLOAT_EQ(out.data()[i], -x.data()[i] + y.data()[i]);
+  }
+}
+
+TEST(Kernels, ActivationPiecewise) {
+  Device dev(small_config());
+  const MatrixF x{{-2.0f, -0.5f, -0.2f, 0.0f, 0.49f, 0.5f, 3.0f}};
+  MatrixF out(1, 7), grad(1, 7);
+  k_activation_piecewise(dev, x.data(), out.data(), 7);
+  k_activation_piecewise_grad(dev, x.data(), grad.data(), 7);
+  const float expect_v[] = {0.0f, 0.0f, 0.3f, 0.5f, 0.99f, 1.0f, 1.0f};
+  const float expect_g[] = {0.0f, 0.0f, 1.0f, 1.0f, 1.0f, 0.0f, 0.0f};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_NEAR(out.data()[i], expect_v[i], 1e-6) << i;
+    EXPECT_FLOAT_EQ(grad.data()[i], expect_g[i]) << i;
+  }
+}
+
+TEST(Kernels, PhiloxKernelMatchesHostPhilox) {
+  Device dev(small_config());
+  MatrixF dev_out(33, 17), host_out(33, 17);
+  k_philox_uniform(dev, dev_out.data(), dev_out.size(), -1.0f, 1.0f, 4242);
+  rng::philox_fill_uniform(host_out, -1.0f, 1.0f, 4242);
+  expect_near(dev_out, host_out, 0.0, "philox kernel");
+}
+
+TEST(Device, PipelineOverlapsCopiesAndCompute) {
+  // With a throttled copy engine, two streams (copy || compute) must finish
+  // faster than the same work serialized on one stream.
+  Device::Config cfg = small_config();
+  cfg.pcie_gbps = 0.5;  // slow PCIe so copies dominate
+  Device dev(cfg);
+  const std::size_t n = 256;
+  const MatrixF a = random_matrix(n, n, 90);
+
+  auto run = [&](bool overlapped) {
+    auto copy_s = dev.create_stream();
+    auto comp_s = dev.create_stream();
+    Stream& cs = overlapped ? *copy_s : *comp_s;
+    Timer t;
+    std::vector<DeviceMatrix> bufs;
+    for (int i = 0; i < 4; ++i) {
+      bufs.emplace_back(dev, n, n);
+      upload_async(dev, cs, bufs.back(), a);
+      Event e = cs.record_event();
+      comp_s->wait_event(e);
+      dev.launch(*comp_s, "spin", [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(15));
+      });
+    }
+    comp_s->synchronize();
+    copy_s->synchronize();
+    return t.seconds();
+  };
+
+  // Best-of-3 per mode: wall-clock under ctest -j load is noisy.
+  double serial = 1e100, overlapped = 1e100;
+  for (int i = 0; i < 3; ++i) {
+    serial = std::min(serial, run(false));
+    overlapped = std::min(overlapped, run(true));
+  }
+  EXPECT_LT(overlapped, serial);
+}
+
+TEST(Trace, RecordsActivities) {
+  Device dev(small_config());
+  dev.trace().clear();
+  const MatrixF a = random_matrix(32, 32, 91);
+  (void)device_matmul(dev, a, a);
+  const auto summary = dev.trace().summary();
+  EXPECT_EQ(summary.at("memcpy_h2d").count, 2u);
+  EXPECT_EQ(summary.at("memcpy_d2h").count, 1u);
+  EXPECT_EQ(summary.at("kernel:gemm").count, 1u);
+  EXPECT_GT(summary.at("kernel:gemm").total_sec, 0.0);
+  EXPECT_EQ(summary.at("memcpy_h2d").bytes, 2 * a.bytes());
+}
+
+TEST(Trace, DisableStopsRecording) {
+  Device dev(small_config());
+  dev.trace().clear();
+  dev.trace().set_enabled(false);
+  const MatrixF a = random_matrix(8, 8, 92);
+  (void)device_matmul(dev, a, a);
+  EXPECT_TRUE(dev.trace().snapshot().empty());
+  dev.trace().set_enabled(true);
+}
+
+TEST(Device, ThrottleEnforcesBandwidth) {
+  Device::Config cfg = small_config();
+  cfg.pcie_gbps = 1.0;  // 1 GB/s
+  Device dev(cfg);
+  const std::size_t bytes = 4 << 20;  // 4 MiB -> >= 4 ms at 1 GB/s
+  DeviceBuffer buf = dev.alloc(bytes);
+  std::vector<float> host(bytes / sizeof(float), 1.0f);
+  Timer t;
+  dev.memcpy_h2d(dev.default_stream(), buf, host.data(), bytes);
+  dev.default_stream().synchronize();
+  EXPECT_GE(t.seconds(), 0.003);
+}
+
+TEST(Device, GlobalDeviceIsSingleton) {
+  EXPECT_EQ(&Device::global(), &Device::global());
+}
+
+}  // namespace
+}  // namespace psml::sgpu

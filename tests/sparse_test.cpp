@@ -1,0 +1,136 @@
+// CSR tests: round trips, SpMM, wire format, and poisoned-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sparse/csr.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::sparse {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+MatrixF sparse_random(std::size_t rows, std::size_t cols, double density,
+                      std::uint64_t seed) {
+  MatrixF m = random_matrix(rows, cols, seed);
+  MatrixF mask(rows, cols);
+  psml::rng::fill_uniform_par(mask, 0.0f, 1.0f, seed ^ 0xFF);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (mask.data()[i] > density) m.data()[i] = 0.0f;
+  }
+  return m;
+}
+
+class CsrDensity : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrDensity, DenseRoundTrip) {
+  const MatrixF dense = sparse_random(37, 53, GetParam(), 41);
+  const Csr csr = Csr::from_dense(dense);
+  expect_near(csr.to_dense(), dense, 0.0, "round trip");
+}
+
+TEST_P(CsrDensity, SerializeRoundTrip) {
+  const MatrixF dense = sparse_random(23, 31, GetParam(), 42);
+  const Csr csr = Csr::from_dense(dense);
+  const auto bytes = csr.serialize();
+  EXPECT_EQ(bytes.size(), csr.wire_bytes());
+  const Csr back = Csr::deserialize(bytes.data(), bytes.size());
+  EXPECT_TRUE(csr == back);
+  expect_near(back.to_dense(), dense, 0.0, "wire round trip");
+}
+
+TEST_P(CsrDensity, SpmmMatchesDense) {
+  const MatrixF a = sparse_random(19, 29, GetParam(), 43);
+  const MatrixF x = random_matrix(29, 7, 44);
+  const Csr csr = Csr::from_dense(a);
+  expect_near(csr.spmm(x), tensor::matmul(a, x), 1e-4, "spmm");
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CsrDensity,
+                         ::testing::Values(0.0, 0.05, 0.25, 0.5, 1.0));
+
+TEST(Csr, EmptyMatrix) {
+  const MatrixF dense(0, 0);
+  const Csr csr = Csr::from_dense(dense);
+  EXPECT_EQ(csr.nnz(), 0u);
+  const auto bytes = csr.serialize();
+  const Csr back = Csr::deserialize(bytes.data(), bytes.size());
+  EXPECT_TRUE(csr == back);
+}
+
+TEST(Csr, AllZeroMatrix) {
+  const MatrixF dense(5, 9, 0.0f);
+  const Csr csr = Csr::from_dense(dense);
+  EXPECT_EQ(csr.nnz(), 0u);
+  EXPECT_LT(csr.wire_bytes(), dense.bytes());
+  expect_near(csr.to_dense(), dense, 0.0, "zeros");
+}
+
+TEST(Csr, AddToAccumulates) {
+  const MatrixF delta = sparse_random(8, 8, 0.2, 45);
+  MatrixF acc = random_matrix(8, 8, 46);
+  MatrixF expected;
+  tensor::add(acc, delta, expected);
+  Csr::from_dense(delta).add_to(acc);
+  expect_near(acc, expected, 0.0, "add_to");
+}
+
+TEST(Csr, AddToShapeMismatchThrows) {
+  const Csr csr = Csr::from_dense(MatrixF(3, 3, 1.0f));
+  MatrixF wrong(4, 3);
+  EXPECT_THROW(csr.add_to(wrong), InvalidArgument);
+}
+
+TEST(Csr, SpmmDimMismatchThrows) {
+  const Csr csr = Csr::from_dense(MatrixF(3, 5, 1.0f));
+  EXPECT_THROW(csr.spmm(MatrixF(4, 2)), InvalidArgument);
+}
+
+TEST(Csr, WireBytesSmallerWhenSparse) {
+  const MatrixF dense = sparse_random(100, 100, 0.05, 47);
+  const Csr csr = Csr::from_dense(dense);
+  EXPECT_LT(csr.wire_bytes(), csr.dense_bytes() / 2);
+}
+
+// ---- poisoned wire input ----------------------------------------------------
+
+TEST(CsrDeserialize, TruncatedHeader) {
+  std::vector<std::uint8_t> buf(4, 0);
+  EXPECT_THROW(Csr::deserialize(buf.data(), buf.size()), ProtocolError);
+}
+
+TEST(CsrDeserialize, SizeMismatch) {
+  const Csr csr = Csr::from_dense(MatrixF(3, 3, 1.0f));
+  auto bytes = csr.serialize();
+  bytes.pop_back();
+  EXPECT_THROW(Csr::deserialize(bytes.data(), bytes.size()), ProtocolError);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  EXPECT_THROW(Csr::deserialize(bytes.data(), bytes.size()), ProtocolError);
+}
+
+TEST(CsrDeserialize, OutOfRangeColumnIndex) {
+  MatrixF dense(2, 2, 1.0f);
+  auto bytes = Csr::from_dense(dense).serialize();
+  // Column indices start after header (12B) + row_ptr (3 * 4B).
+  const std::size_t col_off = 12 + 3 * 4;
+  std::uint32_t bad = 999;
+  std::memcpy(bytes.data() + col_off, &bad, sizeof(bad));
+  EXPECT_THROW(Csr::deserialize(bytes.data(), bytes.size()), ProtocolError);
+}
+
+TEST(CsrDeserialize, NonMonotoneRowPtr) {
+  MatrixF dense(2, 2, 1.0f);
+  auto bytes = Csr::from_dense(dense).serialize();
+  // row_ptr lives right after the 12-byte header: values {0, 2, 4}.
+  std::uint32_t bad = 3;
+  std::memcpy(bytes.data() + 12, &bad, sizeof(bad));  // row_ptr[0] = 3
+  EXPECT_THROW(Csr::deserialize(bytes.data(), bytes.size()), ProtocolError);
+}
+
+}  // namespace
+}  // namespace psml::sparse

@@ -1,0 +1,134 @@
+// im2col / col2im / direct convolution equivalence and adjoint properties.
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::tensor {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+struct ConvCase {
+  std::size_t h, w, c, kernel, stride, pad, out_c, batch;
+};
+
+class ConvShapes : public ::testing::TestWithParam<ConvCase> {};
+
+ConvShape to_shape(const ConvCase& cc) {
+  ConvShape s;
+  s.in_h = cc.h;
+  s.in_w = cc.w;
+  s.in_c = cc.c;
+  s.kernel = cc.kernel;
+  s.stride = cc.stride;
+  s.pad = cc.pad;
+  s.out_c = cc.out_c;
+  return s;
+}
+
+TEST_P(ConvShapes, Im2colGemmMatchesDirect) {
+  const auto cc = GetParam();
+  const ConvShape s = to_shape(cc);
+  const MatrixF input = random_matrix(cc.batch, s.in_c * s.in_h * s.in_w, 31);
+  const MatrixF weights = random_matrix(s.out_c, s.patch_cols(), 32);
+
+  const MatrixF direct = conv2d_direct(input, weights, s);
+
+  const MatrixF patches = im2col(input, s);
+  // P x W^T gives rows (b, oy, ox) by out_c; rearrange like conv2d_direct.
+  const MatrixF flat = matmul(patches, transpose(weights));
+  const std::size_t spatial = s.out_h() * s.out_w();
+  MatrixF lowered(cc.batch, s.out_c * spatial);
+  for (std::size_t b = 0; b < cc.batch; ++b) {
+    for (std::size_t sp = 0; sp < spatial; ++sp) {
+      for (std::size_t f = 0; f < s.out_c; ++f) {
+        lowered(b, f * spatial + sp) = flat(b * spatial + sp, f);
+      }
+    }
+  }
+  expect_near(direct, lowered, 1e-3, "im2col+gemm vs direct");
+}
+
+TEST_P(ConvShapes, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), p> == <x, col2im(p)> for all x, p — the defining property of
+  // the transpose/adjoint, which is exactly what backward needs.
+  const auto cc = GetParam();
+  const ConvShape s = to_shape(cc);
+  const MatrixF x = random_matrix(cc.batch, s.in_c * s.in_h * s.in_w, 33);
+  const MatrixF p = random_matrix(s.patch_rows(cc.batch), s.patch_cols(), 34);
+
+  const MatrixF ix = im2col(x, s);
+  const MatrixF cp = col2im(p, s, cc.batch);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < ix.size(); ++i) {
+    lhs += static_cast<double>(ix.data()[i]) * p.data()[i];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x.data()[i]) * cp.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::abs(lhs) + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvShapes,
+    ::testing::Values(ConvCase{8, 8, 1, 3, 1, 0, 2, 2},
+                      ConvCase{12, 10, 1, 5, 1, 0, 4, 3},
+                      ConvCase{9, 9, 2, 3, 2, 0, 3, 2},
+                      ConvCase{8, 8, 1, 3, 1, 1, 2, 1},
+                      ConvCase{16, 16, 3, 5, 2, 2, 4, 2},
+                      ConvCase{5, 5, 1, 5, 1, 0, 1, 4}));
+
+TEST(Conv, OutputDims) {
+  ConvShape s;
+  s.in_h = 28;
+  s.in_w = 28;
+  s.kernel = 5;
+  EXPECT_EQ(s.out_h(), 24u);
+  EXPECT_EQ(s.out_w(), 24u);
+  s.stride = 2;
+  EXPECT_EQ(s.out_h(), 12u);
+  s.pad = 2;
+  EXPECT_EQ(s.out_h(), 14u);
+}
+
+TEST(Conv, KernelLargerThanInputThrows) {
+  ConvShape s;
+  s.in_h = 3;
+  s.in_w = 3;
+  s.kernel = 5;
+  EXPECT_THROW(s.out_h(), InvalidArgument);
+}
+
+TEST(Conv, InputWidthValidated) {
+  ConvShape s;
+  s.in_h = 8;
+  s.in_w = 8;
+  const MatrixF bad(2, 63);
+  EXPECT_THROW(im2col(bad, s), InvalidArgument);
+  const MatrixF w(1, 999);
+  const MatrixF good(2, 64);
+  EXPECT_THROW(conv2d_direct(good, w, s), InvalidArgument);
+}
+
+TEST(Conv, KnownAnswer3x3) {
+  // 3x3 image, 2x2-equivalent: kernel 3 with one output pixel = plain dot.
+  ConvShape s;
+  s.in_h = 3;
+  s.in_w = 3;
+  s.kernel = 3;
+  s.out_c = 1;
+  MatrixF img(1, 9);
+  for (int i = 0; i < 9; ++i) img.data()[i] = static_cast<float>(i + 1);
+  MatrixF w(1, 9, 1.0f);
+  const MatrixF out = conv2d_direct(img, w, s);
+  ASSERT_EQ(out.cols(), 1u);
+  EXPECT_FLOAT_EQ(out(0, 0), 45.0f);
+}
+
+}  // namespace
+}  // namespace psml::tensor

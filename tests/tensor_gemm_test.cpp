@@ -1,0 +1,126 @@
+// Property tests: all GEMM kernel variants agree with the naive reference
+// across shapes, transposes, and alpha/beta combinations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::tensor {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+class GemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapes, BlockedMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const MatrixF a = random_matrix(m, k, 1);
+  const MatrixF b = random_matrix(k, n, 2);
+  MatrixF c_ref(m, n), c(m, n);
+  gemm_naive(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c_ref);
+  gemm_blocked(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  expect_near(c_ref, c, 1e-3 * k, "blocked");
+}
+
+TEST_P(GemmShapes, ParallelMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const MatrixF a = random_matrix(m, k, 3);
+  const MatrixF b = random_matrix(k, n, 4);
+  MatrixF c_ref(m, n), c(m, n);
+  gemm_naive(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c_ref);
+  gemm_parallel(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  expect_near(c_ref, c, 1e-3 * k, "parallel");
+}
+
+TEST_P(GemmShapes, AlphaBetaHandled) {
+  const auto [m, k, n] = GetParam();
+  const MatrixF a = random_matrix(m, k, 5);
+  const MatrixF b = random_matrix(k, n, 6);
+  MatrixF c_ref = random_matrix(m, n, 7);
+  MatrixF c = c_ref;
+  gemm_naive(0.5f, a, Trans::kNo, b, Trans::kNo, 2.0f, c_ref);
+  gemm_parallel(0.5f, a, Trans::kNo, b, Trans::kNo, 2.0f, c);
+  expect_near(c_ref, c, 1e-3 * k, "alpha/beta");
+}
+
+TEST_P(GemmShapes, TransposeAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const MatrixF at = random_matrix(k, m, 8);  // A^T stored
+  const MatrixF b = random_matrix(k, n, 9);
+  MatrixF c_ref(m, n), c(m, n);
+  gemm_naive(1.0f, at, Trans::kYes, b, Trans::kNo, 0.0f, c_ref);
+  gemm_parallel(1.0f, at, Trans::kYes, b, Trans::kNo, 0.0f, c);
+  expect_near(c_ref, c, 1e-3 * k, "transA");
+}
+
+TEST_P(GemmShapes, TransposeBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  const MatrixF a = random_matrix(m, k, 10);
+  const MatrixF bt = random_matrix(n, k, 11);  // B^T stored
+  MatrixF c_ref(m, n), c(m, n);
+  gemm_naive(1.0f, a, Trans::kNo, bt, Trans::kYes, 0.0f, c_ref);
+  gemm_blocked(1.0f, a, Trans::kNo, bt, Trans::kYes, 0.0f, c);
+  expect_near(c_ref, c, 1e-3 * k, "transB");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 7, 3}, Shape{5, 1, 5},
+                      Shape{16, 16, 16}, Shape{17, 31, 13}, Shape{64, 64, 64},
+                      Shape{33, 129, 65}, Shape{128, 300, 64},
+                      Shape{257, 128, 129}, Shape{100, 1, 100}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "k" +
+             std::to_string(info.param.k) + "n" + std::to_string(info.param.n);
+    });
+
+TEST(Gemm, ShapeMismatchThrows) {
+  const MatrixF a(4, 5), b(6, 3);
+  MatrixF c(4, 3);
+  EXPECT_THROW(gemm_naive(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c),
+               InvalidArgument);
+  MatrixF bad_c(5, 3);
+  const MatrixF b2(5, 3);
+  EXPECT_THROW(gemm_naive(1.0f, a, Trans::kNo, b2, Trans::kNo, 0.0f, bad_c),
+               InvalidArgument);
+}
+
+TEST(Gemm, MatmulConvenience) {
+  const MatrixF a{{1, 2}, {3, 4}};
+  const MatrixF b{{5, 6}, {7, 8}};
+  const MatrixF c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+  expect_near(c, matmul_naive(a, b), 1e-6, "naive agrees");
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  const std::size_t n = 37;
+  MatrixF eye(n, n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = 1.0f;
+  const MatrixF a = random_matrix(n, n, 12);
+  expect_near(matmul(a, eye), a, 1e-5, "A*I");
+  expect_near(matmul(eye, a), a, 1e-5, "I*A");
+}
+
+TEST(Gemm, ZeroKProductIsZeroFill) {
+  // beta=0 must overwrite garbage in C even when alpha*A*B contributes 0.
+  const MatrixF a(3, 4, 0.0f);
+  const MatrixF b(4, 2, 5.0f);
+  MatrixF c(3, 2, 123.0f);
+  gemm_blocked(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace psml::tensor

@@ -1,0 +1,167 @@
+// Unit tests for Matrix and elementwise/structural tensor operations.
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::tensor {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+TEST(Matrix, BasicAccessors) {
+  MatrixF m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_EQ(m.bytes(), 48u);
+  EXPECT_FLOAT_EQ(m(2, 3), 2.5f);
+  m(1, 2) = -1.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), -1.0f);
+  EXPECT_THROW(m.at(3, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 4), InvalidArgument);
+}
+
+TEST(Matrix, InitializerList) {
+  MatrixF m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(1, 2), 6.0f);
+  EXPECT_THROW((MatrixF{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, Equality) {
+  MatrixF a{{1, 2}, {3, 4}};
+  MatrixF b{{1, 2}, {3, 4}};
+  MatrixF c{{1, 2}, {3, 5}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, RowSpan) {
+  MatrixF m{{1, 2}, {3, 4}};
+  auto r = m.row(1);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_FLOAT_EQ(r[0], 3.0f);
+}
+
+TEST(Matrix, DataIsCacheLineAligned) {
+  MatrixF m(17, 19);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(Ops, AddSubHadamardScale) {
+  const MatrixF a{{1, 2}, {3, 4}};
+  const MatrixF b{{10, 20}, {30, 40}};
+  MatrixF out;
+  add(a, b, out);
+  EXPECT_FLOAT_EQ(out(1, 1), 44.0f);
+  sub(b, a, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 9.0f);
+  hadamard(a, b, out);
+  EXPECT_FLOAT_EQ(out(1, 0), 90.0f);
+  scale(a, 3.0f, out);
+  EXPECT_FLOAT_EQ(out(0, 1), 6.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  const MatrixF a(2, 3), b(3, 2);
+  MatrixF out;
+  EXPECT_THROW(add(a, b, out), InvalidArgument);
+  EXPECT_THROW(sub(a, b, out), InvalidArgument);
+  EXPECT_THROW(hadamard(a, b, out), InvalidArgument);
+}
+
+TEST(Ops, AxpyAccumulates) {
+  const MatrixF a{{1, 1}, {1, 1}};
+  MatrixF out{{1, 2}, {3, 4}};
+  axpy(2.0f, a, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out(1, 1), 6.0f);
+}
+
+class ParallelOps : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelOps, ParallelMatchesSerial) {
+  const std::size_t n = GetParam();
+  const MatrixF a = random_matrix(n, n + 3, 21);
+  const MatrixF b = random_matrix(n, n + 3, 22);
+  MatrixF ser, par;
+  add(a, b, ser);
+  add_par(a, b, par);
+  expect_near(ser, par, 0.0, "add");
+  sub(a, b, ser);
+  sub_par(a, b, par);
+  expect_near(ser, par, 0.0, "sub");
+  hadamard(a, b, ser);
+  hadamard_par(a, b, par);
+  expect_near(ser, par, 0.0, "hadamard");
+  scale(a, -2.5f, ser);
+  scale_par(a, -2.5f, par);
+  expect_near(ser, par, 0.0, "scale");
+  ser = b;
+  par = b;
+  axpy(0.5f, a, ser);
+  axpy_par(0.5f, a, par);
+  expect_near(ser, par, 0.0, "axpy");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelOps,
+                         ::testing::Values(1, 7, 64, 255, 600));
+
+TEST(Ops, Transpose) {
+  const MatrixF a = random_matrix(37, 53, 23);
+  const MatrixF at = transpose(a);
+  ASSERT_EQ(at.rows(), 53u);
+  ASSERT_EQ(at.cols(), 37u);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      ASSERT_FLOAT_EQ(at(c, r), a(r, c));
+    }
+  }
+  expect_near(transpose(at), a, 0.0, "double transpose");
+}
+
+TEST(Ops, Concat) {
+  const MatrixF a{{1, 2}, {3, 4}};
+  const MatrixF b{{5}, {6}};
+  const MatrixF h = hconcat(a, b);
+  ASSERT_EQ(h.rows(), 2u);
+  ASSERT_EQ(h.cols(), 3u);
+  EXPECT_FLOAT_EQ(h(0, 2), 5.0f);
+  EXPECT_FLOAT_EQ(h(1, 0), 3.0f);
+
+  const MatrixF c{{7, 8}};
+  const MatrixF v = vconcat(a, c);
+  ASSERT_EQ(v.rows(), 3u);
+  EXPECT_FLOAT_EQ(v(2, 1), 8.0f);
+
+  EXPECT_THROW(hconcat(a, c), InvalidArgument);
+  EXPECT_THROW(vconcat(a, b), InvalidArgument);
+}
+
+TEST(Ops, ZeroFraction) {
+  MatrixF m(10, 10, 0.0f);
+  EXPECT_DOUBLE_EQ(zero_fraction(m), 1.0);
+  m(0, 0) = 1.0f;
+  EXPECT_DOUBLE_EQ(zero_fraction(m), 0.99);
+  m.fill(2.0f);
+  EXPECT_DOUBLE_EQ(zero_fraction(m), 0.0);
+  EXPECT_DOUBLE_EQ(zero_fraction(MatrixF()), 1.0);
+}
+
+TEST(Ops, SumAndNorm) {
+  const MatrixF m{{3, 4}};
+  EXPECT_FLOAT_EQ(sum(m), 7.0f);
+  EXPECT_DOUBLE_EQ(fro_norm(m), 5.0);
+}
+
+TEST(Ops, MaxAbsDiff) {
+  const MatrixF a{{1, 2}}, b{{1.5, 1}};
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace psml::tensor

@@ -1,0 +1,151 @@
+// Algebraic property tests over the tensor kernels — the identities the MPC
+// layer silently relies on (linearity everywhere).
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace psml::tensor {
+namespace {
+
+using psml::test::expect_near;
+using psml::test::random_matrix;
+
+class LinearityShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+// (A + B) x C == A x C + B x C — the distributivity that makes X = X0 + X1
+// sharable through matmul.
+TEST_P(LinearityShapes, GemmDistributesOverAddition) {
+  const auto [m, n] = GetParam();
+  const std::size_t k = m + n;
+  const MatrixF a = random_matrix(m, k, 901);
+  const MatrixF b = random_matrix(m, k, 902);
+  const MatrixF c = random_matrix(k, n, 903);
+
+  MatrixF sum;
+  add(a, b, sum);
+  const MatrixF lhs = matmul(sum, c);
+  MatrixF rhs;
+  add(matmul(a, c), matmul(b, c), rhs);
+  expect_near(lhs, rhs, 1e-3 * static_cast<double>(k), "distributivity");
+}
+
+// im2col is linear: im2col(A + B) == im2col(A) + im2col(B) — why each server
+// can lower its own share of a conv input locally.
+TEST_P(LinearityShapes, Im2colIsLinear) {
+  const auto [m, n] = GetParam();
+  (void)n;
+  ConvShape s;
+  s.in_h = 8;
+  s.in_w = 8;
+  s.kernel = 3;
+  const std::size_t batch = m;
+  const MatrixF a = random_matrix(batch, 64, 904);
+  const MatrixF b = random_matrix(batch, 64, 905);
+  MatrixF sum;
+  add(a, b, sum);
+  MatrixF rhs;
+  add(im2col(a, s), im2col(b, s), rhs);
+  expect_near(im2col(sum, s), rhs, 1e-5, "im2col linearity");
+}
+
+// Transpose is linear and an involution.
+TEST_P(LinearityShapes, TransposeProperties) {
+  const auto [m, n] = GetParam();
+  const MatrixF a = random_matrix(m, n, 906);
+  const MatrixF b = random_matrix(m, n, 907);
+  MatrixF sum;
+  add(a, b, sum);
+  MatrixF rhs;
+  add(transpose(a), transpose(b), rhs);
+  expect_near(transpose(sum), rhs, 0.0, "transpose linearity");
+  expect_near(transpose(transpose(a)), a, 0.0, "involution");
+}
+
+// (A x B)^T == B^T x A^T — backward passes depend on it.
+TEST_P(LinearityShapes, GemmTransposeIdentity) {
+  const auto [m, n] = GetParam();
+  const std::size_t k = 2 * n + 1;
+  const MatrixF a = random_matrix(m, k, 908);
+  const MatrixF b = random_matrix(k, n, 909);
+  expect_near(transpose(matmul(a, b)), matmul(transpose(b), transpose(a)),
+              1e-3 * static_cast<double>(k), "(AB)^T = B^T A^T");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LinearityShapes,
+    ::testing::Values(std::tuple<std::size_t, std::size_t>{1, 1},
+                      std::tuple<std::size_t, std::size_t>{3, 5},
+                      std::tuple<std::size_t, std::size_t>{8, 8},
+                      std::tuple<std::size_t, std::size_t>{17, 31}));
+
+TEST(Associativity, ChainedProducts) {
+  // (A x B) x C == A x (B x C) within float tolerance.
+  const MatrixF a = random_matrix(9, 13, 910);
+  const MatrixF b = random_matrix(13, 7, 911);
+  const MatrixF c = random_matrix(7, 5, 912);
+  expect_near(matmul(matmul(a, b), c), matmul(a, matmul(b, c)), 1e-2,
+              "associativity");
+}
+
+TEST(Scaling, ScalarsCommuteThroughGemm) {
+  const MatrixF a = random_matrix(6, 6, 913);
+  const MatrixF b = random_matrix(6, 6, 914);
+  MatrixF a2;
+  scale(a, 2.5f, a2);
+  MatrixF expected;
+  scale(matmul(a, b), 2.5f, expected);
+  expect_near(matmul(a2, b), expected, 1e-4, "scalar commutes");
+}
+
+TEST(Hadamard, CommutesAndDistributes) {
+  const MatrixF a = random_matrix(10, 10, 915);
+  const MatrixF b = random_matrix(10, 10, 916);
+  const MatrixF c = random_matrix(10, 10, 917);
+  MatrixF ab, ba;
+  hadamard(a, b, ab);
+  hadamard(b, a, ba);
+  expect_near(ab, ba, 0.0, "commutativity");
+  MatrixF bc_sum, lhs, rhs1, rhs2, rhs;
+  add(b, c, bc_sum);
+  hadamard(a, bc_sum, lhs);
+  hadamard(a, b, rhs1);
+  hadamard(a, c, rhs2);
+  add(rhs1, rhs2, rhs);
+  expect_near(lhs, rhs, 1e-5, "distributivity");
+}
+
+TEST(Concat, Eq8FusionIdentity) {
+  // [D | E] x [F ; B] == D x F + E x B — the identity behind Eq. 8.
+  const std::size_t m = 7, k1 = 5, k2 = 9, n = 4;
+  const MatrixF d = random_matrix(m, k1, 918);
+  const MatrixF e = random_matrix(m, k2, 919);
+  const MatrixF f = random_matrix(k1, n, 920);
+  const MatrixF b = random_matrix(k2, n, 921);
+
+  const MatrixF fused = matmul(hconcat(d, e), vconcat(f, b));
+  MatrixF split;
+  add(matmul(d, f), matmul(e, b), split);
+  expect_near(fused, split, 1e-4, "Eq. 8 fusion identity");
+}
+
+TEST(Col2Im, LinearInPatches) {
+  ConvShape s;
+  s.in_h = 6;
+  s.in_w = 6;
+  s.kernel = 3;
+  const std::size_t batch = 2;
+  const MatrixF p1 = random_matrix(s.patch_rows(batch), s.patch_cols(), 922);
+  const MatrixF p2 = random_matrix(s.patch_rows(batch), s.patch_cols(), 923);
+  MatrixF sum;
+  add(p1, p2, sum);
+  MatrixF rhs;
+  add(col2im(p1, s, batch), col2im(p2, s, batch), rhs);
+  expect_near(col2im(sum, s, batch), rhs, 1e-5, "col2im linearity");
+}
+
+}  // namespace
+}  // namespace psml::tensor

@@ -1,0 +1,74 @@
+// Chrome-trace export of the simulated-device activity timeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sgpu/ops.hpp"
+#include "sgpu/trace_export.hpp"
+#include "test_util.hpp"
+
+namespace psml::sgpu {
+namespace {
+
+TEST(TraceExport, EmptyTraceIsValidJsonArray) {
+  Trace trace;
+  const std::string json = to_chrome_trace_json(trace);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Metadata events for the three tracks are always present.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(TraceExport, ContainsRecordedActivities) {
+  Trace trace;
+  trace.record(ActivityKind::kMemcpyH2D, "h2d", 0.0, 0.001, 4096);
+  trace.record(ActivityKind::kKernel, "gemm", 0.001, 0.005);
+  const std::string json = to_chrome_trace_json(trace);
+  EXPECT_NE(json.find("\"name\":\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Durations are microseconds in the trace event format.
+  EXPECT_NE(json.find("\"dur\":4000"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesSpecialCharacters) {
+  Trace trace;
+  trace.record(ActivityKind::kKernel, "evil\"name\\", 0.0, 0.001);
+  const std::string json = to_chrome_trace_json(trace);
+  EXPECT_NE(json.find("evil\\\"name\\\\"), std::string::npos);
+}
+
+TEST(TraceExport, RealWorkloadRoundTripsThroughFile) {
+  Device dev{Device::Config{.compute_threads = 2,
+                            .pcie_gbps = 0.0,
+                            .memory_bytes = 64 << 20,
+                            .launch_overhead_us = 0.0}};
+  dev.trace().clear();
+  const MatrixF a = psml::test::random_matrix(48, 48, 9);
+  (void)device_matmul(dev, a, a);
+
+  const std::string path = "/tmp/psml_trace_test.json";
+  write_chrome_trace(path, dev.trace());
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("gemm"), std::string::npos);
+  EXPECT_NE(json.find("h2d"), std::string::npos);
+  // Balanced brackets (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, BadPathThrows) {
+  Trace trace;
+  EXPECT_THROW(write_chrome_trace("/nonexistent/dir/trace.json", trace),
+               Error);
+}
+
+}  // namespace
+}  // namespace psml::sgpu
