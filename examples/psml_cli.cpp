@@ -3,8 +3,8 @@
 // optionally dumping a chrome://tracing timeline of the simulated device
 // and a checkpoint of the trained model.
 //
-//   psml_cli --model=mlp --dataset=mnist --mode=parsecureml \
-//            --samples=256 --batch=128 --epochs=4 --lr=0.05 \
+//   psml_cli --model=mlp --dataset=mnist --mode=parsecureml
+//            --samples=256 --batch=128 --epochs=4 --lr=0.05
 //            [--no-pipeline --no-compression --no-tensor-core --no-gpu
 //             --no-adaptive --no-cpu-parallel --no-eq8]
 //            [--infer] [--trace=run.json] [--save=model.bin] [--seed=N]
@@ -48,18 +48,21 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) {
+    // Fresh strings at each step, no in-place erase/substr-self-assign:
+    // GCC 12's -Wrestrict misfires on those patterns and this file must
+    // build under -Werror.
+    const char* raw = argv[i];
+    if (raw[0] != '-' || raw[1] != '-') {
       std::fprintf(stderr, "unrecognized argument: %s (flags start with --)\n",
-                   a.c_str());
+                   raw);
       std::exit(2);
     }
-    a = a.substr(2);
+    const std::string a(raw + 2);
     const auto eq = a.find('=');
     if (eq == std::string::npos) {
-      args.kv[a] = "1";
+      args.kv.emplace(a, "1");
     } else {
-      args.kv[a.substr(0, eq)] = a.substr(eq + 1);
+      args.kv.insert_or_assign(a.substr(0, eq), a.substr(eq + 1));
     }
   }
   return args;

@@ -40,6 +40,14 @@ class DeviceError : public Error {
   explicit DeviceError(const std::string& what) : Error(what) {}
 };
 
+// Use of a concurrency primitive (ThreadPool, AsyncLane) after it has been
+// stopped — e.g. submit() racing destruction. Always a lifecycle bug in the
+// caller, never data-dependent.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failed(const char* kind, const char* expr,
                                      const char* file, int line,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "common/error.hpp"
 
 namespace psml {
 
@@ -32,19 +33,30 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  // Enqueue an arbitrary task; returns a future for its completion.
+  // Enqueue an arbitrary task; returns a future for its completion. Throws
+  // psml::ShutdownError if the pool has been (or is being) destroyed — the
+  // check happens under the queue lock, so a submit racing the destructor
+  // either enqueues before shutdown (and the task runs: the destructor drains
+  // the queue) or observes the stop and throws.
   template <typename F>
   std::future<void> submit(F&& f) {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
     std::future<void> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool is shut down");
+      if (stopping_) throw ShutdownError("ThreadPool::submit after shutdown");
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
     return fut;
   }
+
+  // Stops accepting work, runs every already-queued task, and joins the
+  // workers. After this, submit() (and any parallel_for large enough to need
+  // worker threads) throws psml::ShutdownError. Safe to race against
+  // submit() (see above); must not be called concurrently with itself. The
+  // destructor calls it.
+  void shutdown();
 
   // Splits [begin, end) into contiguous chunks of at least `grain` elements,
   // runs body(chunk_begin, chunk_end) on pool threads + the calling thread,

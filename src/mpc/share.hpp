@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "mpc/ring.hpp"
 #include "rng/rng.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/ops.hpp"
@@ -51,20 +52,13 @@ inline SharePair<std::uint64_t> share_ring(const MatrixU64& x,
   SharePair<std::uint64_t> p;
   p.s0.resize(x.rows(), x.cols());
   rng::fill_uniform_u64_par(p.s0, seed);
-  p.s1.resize(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    p.s1.data()[i] = x.data()[i] - p.s0.data()[i];  // mod 2^64 wrap
-  }
+  p.s1 = ring_sub(x, p.s0);  // mod 2^64 wrap
   return p;
 }
 
 inline MatrixU64 reconstruct_ring(const MatrixU64& s0, const MatrixU64& s1) {
   PSML_REQUIRE(s0.same_shape(s1), "reconstruct_ring: shape mismatch");
-  MatrixU64 out(s0.rows(), s0.cols());
-  for (std::size_t i = 0; i < s0.size(); ++i) {
-    out.data()[i] = s0.data()[i] + s1.data()[i];
-  }
-  return out;
+  return ring_add(s0, s1);
 }
 
 }  // namespace psml::mpc

@@ -96,20 +96,32 @@ std::shared_ptr<Channel> TcpChannel::connect(const std::string& host,
   return std::shared_ptr<Channel>(new TcpChannel(fd));
 }
 
-TcpChannel::~TcpChannel() { close(); }
+TcpChannel::~TcpChannel() {
+  // Destruction is never concurrent with send/recv (standard object
+  // lifetime), so this is the only place the descriptor may actually be
+  // ::close()d — closing it any earlier could hand the fd number to an
+  // unrelated open() while a blocked recv() still references it.
+  close();
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
 
 void TcpChannel::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // shutdown(), not ::close(): a recv() blocked on another thread gets
+  // unblocked (returns 0 / ECONNRESET) and fails cleanly, while the fd
+  // number stays reserved until the destructor so it cannot be recycled
+  // under the reader's feet. exchange() makes racing close() calls (or
+  // close() racing the destructor) shut down exactly once.
+  if (!shut_.exchange(true, std::memory_order_acq_rel)) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
 }
 
-void TcpChannel::write_all(const void* data, std::size_t size) {
+void TcpChannel::write_all(int fd, const void* data, std::size_t size) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (size > 0) {
-    const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       throw_errno("send");
@@ -119,10 +131,10 @@ void TcpChannel::write_all(const void* data, std::size_t size) {
   }
 }
 
-void TcpChannel::read_all(void* data, std::size_t size) {
+void TcpChannel::read_all(int fd, void* data, std::size_t size) {
   auto* p = static_cast<std::uint8_t*>(data);
   while (size > 0) {
-    const ssize_t n = ::recv(fd_, p, size, 0);
+    const ssize_t n = ::recv(fd, p, size, 0);
     if (n == 0) throw NetworkError("peer closed connection");
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -134,23 +146,29 @@ void TcpChannel::read_all(void* data, std::size_t size) {
 }
 
 void TcpChannel::send_impl(Message&& m) {
-  if (fd_ < 0) throw NetworkError("TcpChannel: send on closed channel");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || shut_.load(std::memory_order_acquire)) {
+    throw NetworkError("TcpChannel: send on closed channel");
+  }
   const FrameHeader h{kFrameMagic, m.tag, m.payload.size()};
-  write_all(&h, sizeof(h));
-  if (!m.payload.empty()) write_all(m.payload.data(), m.payload.size());
+  write_all(fd, &h, sizeof(h));
+  if (!m.payload.empty()) write_all(fd, m.payload.data(), m.payload.size());
 }
 
 Message TcpChannel::recv_impl() {
-  if (fd_ < 0) throw NetworkError("TcpChannel: recv on closed channel");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || shut_.load(std::memory_order_acquire)) {
+    throw NetworkError("TcpChannel: recv on closed channel");
+  }
   FrameHeader h{};
-  read_all(&h, sizeof(h));
+  read_all(fd, &h, sizeof(h));
   if (h.magic != kFrameMagic) {
     throw NetworkError("TcpChannel: bad frame magic (corrupt stream?)");
   }
   Message m;
   m.tag = h.tag;
   m.payload.resize(h.payload_len);
-  if (h.payload_len > 0) read_all(m.payload.data(), h.payload_len);
+  if (h.payload_len > 0) read_all(fd, m.payload.data(), h.payload_len);
   return m;
 }
 

@@ -6,6 +6,7 @@
 // the small reconstruct-phase messages are not Nagle-delayed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -36,10 +37,15 @@ class TcpChannel final : public Channel {
  private:
   explicit TcpChannel(int fd) : fd_(fd) {}
 
-  void write_all(const void* data, std::size_t size);
-  void read_all(void* data, std::size_t size);
+  void write_all(int fd, const void* data, std::size_t size);
+  void read_all(int fd, void* data, std::size_t size);
 
-  int fd_ = -1;
+  // close() may race in-flight send/recv on other threads: it only
+  // shutdown()s the socket (waking blocked syscalls), and the destructor —
+  // which by object-lifetime rules cannot race them — does the ::close().
+  // shut_'s exchange makes the shutdown happen exactly once.
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> shut_{false};
 };
 
 }  // namespace psml::net

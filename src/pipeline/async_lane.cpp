@@ -4,9 +4,12 @@ namespace psml::pipeline {
 
 AsyncLane::AsyncLane() : worker_([this] { worker_loop(); }) {}
 
-AsyncLane::~AsyncLane() {
+AsyncLane::~AsyncLane() { stop(); }
+
+void AsyncLane::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
@@ -16,6 +19,7 @@ AsyncLane::~AsyncLane() {
 void AsyncLane::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw ShutdownError("AsyncLane::run after stop");
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();

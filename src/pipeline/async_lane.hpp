@@ -17,8 +17,25 @@
 #include <thread>
 #include <type_traits>
 
+#include "common/error.hpp"
+
 namespace psml::pipeline {
 
+// Lifecycle / concurrency contract:
+//   * run() may be called from any thread, concurrently with drain() and
+//     with other run() calls. Tasks execute FIFO in submission order
+//     (submission order of concurrent run() calls is whatever order they
+//     win the queue lock in).
+//   * drain() returns once every task whose run() call happened-before the
+//     drain() began has finished. Tasks submitted *concurrently with* a
+//     drain() are queued normally but may or may not be waited for — a
+//     caller that needs them covered must order its run() calls before the
+//     drain. The lane is not left in any special state: run() after drain()
+//     queues as usual.
+//   * stop() (also invoked by the destructor) rejects all future run()
+//     calls with psml::ShutdownError, runs every already-queued task, and
+//     joins the worker. run() racing stop() either enqueues before the stop
+//     (and its task runs) or throws; it never silently drops work.
 class AsyncLane {
  public:
   AsyncLane();
@@ -28,6 +45,7 @@ class AsyncLane {
   AsyncLane& operator=(const AsyncLane&) = delete;
 
   // Submits a callable; returns a future of its result. Tasks run FIFO.
+  // Throws psml::ShutdownError after stop().
   template <typename F>
   auto run(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -37,8 +55,13 @@ class AsyncLane {
     return fut;
   }
 
-  // Blocks until all submitted work has run.
+  // Blocks until all work submitted before this call has run (see the
+  // contract above for interaction with concurrent run()).
   void drain();
+
+  // Stops accepting work, finishes the queued tasks, joins the worker.
+  // Idempotent; called by the destructor.
+  void stop();
 
  private:
   void enqueue(std::function<void()> task);

@@ -14,6 +14,12 @@ struct WireHeader {
   std::uint32_t nnz;
 };
 
+// memcpy requires non-null pointers even for n == 0, and an empty vector's
+// data() may be null (UBSan flags this on empty matrices).
+void copy_bytes(void* dst, const void* src, std::size_t n) {
+  if (n != 0) std::memcpy(dst, src, n);
+}
+
 }  // namespace
 
 Csr Csr::from_dense(const MatrixF& dense) {
@@ -81,11 +87,11 @@ std::vector<std::uint8_t> Csr::serialize() const {
                      static_cast<std::uint32_t>(values_.size())};
   std::memcpy(p, &h, sizeof(h));
   p += sizeof(h);
-  std::memcpy(p, row_ptr_.data(), row_ptr_.size() * sizeof(std::uint32_t));
+  copy_bytes(p, row_ptr_.data(), row_ptr_.size() * sizeof(std::uint32_t));
   p += row_ptr_.size() * sizeof(std::uint32_t);
-  std::memcpy(p, col_idx_.data(), col_idx_.size() * sizeof(std::uint32_t));
+  copy_bytes(p, col_idx_.data(), col_idx_.size() * sizeof(std::uint32_t));
   p += col_idx_.size() * sizeof(std::uint32_t);
-  std::memcpy(p, values_.data(), values_.size() * sizeof(float));
+  copy_bytes(p, values_.data(), values_.size() * sizeof(float));
   return buf;
 }
 
@@ -109,11 +115,11 @@ Csr Csr::deserialize(const std::uint8_t* data, std::size_t size) {
   out.col_idx_.resize(h.nnz);
   out.values_.resize(h.nnz);
   const std::uint8_t* p = data + sizeof(WireHeader);
-  std::memcpy(out.row_ptr_.data(), p, rp * sizeof(std::uint32_t));
+  copy_bytes(out.row_ptr_.data(), p, rp * sizeof(std::uint32_t));
   p += rp * sizeof(std::uint32_t);
-  std::memcpy(out.col_idx_.data(), p, h.nnz * sizeof(std::uint32_t));
+  copy_bytes(out.col_idx_.data(), p, h.nnz * sizeof(std::uint32_t));
   p += h.nnz * sizeof(std::uint32_t);
-  std::memcpy(out.values_.data(), p, h.nnz * sizeof(float));
+  copy_bytes(out.values_.data(), p, h.nnz * sizeof(float));
 
   // Validate structure so a corrupt payload cannot index out of range later.
   if (out.row_ptr_.front() != 0 || out.row_ptr_.back() != h.nnz) {

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/aligned.hpp"
@@ -160,6 +162,74 @@ TEST(ThreadPool, ParallelForPropagatesException) {
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrowsTypedError) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  // The typed exception (not a bare std::runtime_error) so callers can
+  // distinguish lifecycle misuse from task failures; it is still a
+  // psml::Error for blanket handlers.
+  EXPECT_THROW(pool.submit([] {}), ShutdownError);
+  EXPECT_THROW(pool.submit([] {}), Error);
+}
+
+TEST(ThreadPool, ShutdownRunsAlreadyQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ran.fetch_add(1);
+    }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 16);
+  for (auto& f : futs) f.get();  // all futures are fulfilled, none broken
+}
+
+TEST(ThreadPool, ParallelForPropagatesExactlyOneException) {
+  // "First one wins": every chunk throws a distinct message, the caller sees
+  // exactly one of them, and the pool survives to run more work.
+  ThreadPool pool(4);
+  std::atomic<int> thrown{0};
+  try {
+    pool.parallel_for(0, 100000, [&](std::size_t lo, std::size_t) {
+      thrown.fetch_add(1);
+      throw std::runtime_error("boom@" + std::to_string(lo));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("boom@", 0), 0u) << e.what();
+  }
+  EXPECT_GE(thrown.load(), 1);
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    ran.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionFromWorkerThread) {
+  // Force the throwing chunk onto a pool thread (not the caller) to check
+  // cross-thread propagation, retrying since chunk assignment is racy.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool propagated_from_worker = false;
+  for (int attempt = 0; attempt < 50 && !propagated_from_worker; ++attempt) {
+    try {
+      pool.parallel_for(0, 64 * 16, [&](std::size_t, std::size_t) {
+        if (std::this_thread::get_id() != caller) {
+          throw std::logic_error("worker boom");
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      });
+    } catch (const std::logic_error&) {
+      propagated_from_worker = true;
+    }
+  }
+  EXPECT_TRUE(propagated_from_worker);
 }
 
 TEST(Timer, MeasuresElapsed) {

@@ -49,6 +49,29 @@ TEST(AsyncLane, PropagatesExceptions) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+TEST(AsyncLane, PropagatesTypedExceptionsAndKeepsWorking) {
+  // The future carries the exact exception type, and one failed task must not
+  // poison the lane: later tasks still run and return results.
+  AsyncLane lane;
+  auto bad = lane.run([]() -> int {
+    throw psml::ProtocolError("reconstruct mismatch");
+  });
+  try {
+    bad.get();
+    FAIL() << "expected ProtocolError";
+  } catch (const psml::ProtocolError& e) {
+    EXPECT_STREQ(e.what(), "reconstruct mismatch");
+  }
+  auto good = lane.run([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(AsyncLane, VoidFuturePropagatesExceptions) {
+  AsyncLane lane;
+  auto f = lane.run([] { throw psml::Error("void boom"); });
+  EXPECT_THROW(f.get(), psml::Error);
+}
+
 TEST(AsyncLane, DrainWaitsForAll) {
   AsyncLane lane;
   std::atomic<int> done{0};
@@ -76,6 +99,38 @@ TEST(AsyncLane, MoveOnlyResults) {
   AsyncLane lane;
   auto f = lane.run([] { return std::make_unique<int>(7); });
   EXPECT_EQ(*f.get(), 7);
+}
+
+TEST(AsyncLane, DrainThenRunQueuesNormally) {
+  // drain() is not terminal: work submitted after a drain queues and runs,
+  // and a second drain covers it (the documented "queue" semantics).
+  AsyncLane lane;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) lane.run([&] { ran.fetch_add(1); });
+  lane.drain();
+  EXPECT_EQ(ran.load(), 8);
+  for (int i = 0; i < 8; ++i) lane.run([&] { ran.fetch_add(1); });
+  lane.drain();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(AsyncLane, StopRejectsNewWork) {
+  AsyncLane lane;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) lane.run([&] { ran.fetch_add(1); });
+  lane.stop();
+  // stop() ran the queued tasks before joining, and is terminal + idempotent.
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_THROW(lane.run([] {}), psml::ShutdownError);
+  lane.stop();
+  EXPECT_THROW(lane.run([] {}), psml::ShutdownError);
+}
+
+TEST(AsyncLane, DrainAfterStopReturnsImmediately) {
+  AsyncLane lane;
+  lane.run([] {});
+  lane.stop();
+  lane.drain();  // queue is empty and the worker is gone: must not block
 }
 
 }  // namespace

@@ -78,8 +78,15 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{33, 129, 65}, Shape{128, 300, 64},
                       Shape{257, 128, 129}, Shape{100, 1, 100}),
     [](const auto& info) {
-      return "m" + std::to_string(info.param.m) + "k" +
-             std::to_string(info.param.k) + "n" + std::to_string(info.param.n);
+      // Appends, not a chained operator+: GCC 12 emits spurious -Wrestrict
+      // warnings on the temporary chain, and this file must build -Werror.
+      std::string name = "m";
+      name += std::to_string(info.param.m);
+      name += 'k';
+      name += std::to_string(info.param.k);
+      name += 'n';
+      name += std::to_string(info.param.n);
+      return name;
     });
 
 TEST(Gemm, ShapeMismatchThrows) {

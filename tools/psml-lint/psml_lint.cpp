@@ -1,0 +1,599 @@
+// psml-lint — project-specific static checker for ParSecureML-Repro.
+//
+// Enforces four rules a generic linter cannot express because they encode
+// MPC-protocol and library-architecture invariants:
+//
+//   ring-raw-arith   No raw +/-/* on ring share words (MatrixU64 values)
+//                    outside src/mpc/ring.*. Share arithmetic must go through
+//                    ring_add/ring_sub/ring_matmul/truncate_share so that
+//                    wraparound semantics and truncation stay in one audited
+//                    place.
+//   rng-outside-rng  No rand()/srand()/std::mt19937/std::random_device
+//                    outside src/rng/. Secret shares and masks must come from
+//                    the Philox/seeded generators in src/rng so randomness is
+//                    reproducible and never silently correlated.
+//   secret-logging   No logging/printing of share, triplet, mask, or seed
+//                    material from secure code paths (src/mpc, src/ml/secure,
+//                    src/parsecureml, src/compress). A debug print of a share
+//                    buffer is a secret leak.
+//   naked-thread     No std::thread construction outside the owned
+//                    concurrency primitives (common/thread_pool, pipeline/
+//                    async_lane, sgpu/stream, src/net). Ad-hoc threads dodge
+//                    the shutdown/exception discipline those wrappers provide.
+//
+// Diagnostics are file:line with a rule tag. A violation can be suppressed by
+// an allowlist entry ("<rule> <path-suffix> <justification>"); unused entries
+// are themselves an error so the allowlist cannot rot.
+//
+// The checker is line/token-heuristic, not a real C++ parser: comments,
+// string literals (including raw strings), and char literals are stripped
+// before matching, and the ring rule tracks MatrixU64 declarations per file.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;  // generic (forward-slash) path as given on the cmdline
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+  std::string justification;
+  std::size_t line = 0;  // line in the allowlist file
+  mutable std::size_t uses = 0;
+};
+
+// ---- source stripping -------------------------------------------------------
+
+// Returns the file content with comments and string/char literal *contents*
+// replaced by spaces, preserving line breaks so line numbers stay valid.
+std::vector<std::string> strip_source(const std::vector<std::string>& lines) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State st = State::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+
+  for (const std::string& line : lines) {
+    std::string clean(line.size(), ' ');
+    if (st == State::kLineComment) st = State::kCode;  // // ends at newline
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (st) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            st = State::kLineComment;
+            ++i;
+          } else if (c == '/' && next == '*') {
+            st = State::kBlockComment;
+            ++i;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                     line[i - 1])) &&
+                                 line[i - 1] != '_'))) {
+            // Raw string literal R"delim( ... )delim"
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < line.size() && line[p] != '(') delim += line[p++];
+            raw_delim = ")" + delim + "\"";
+            st = State::kRaw;
+            clean[i] = '"';  // keep a marker so tokenizers see a literal
+            i = p;           // skip past the opening paren
+          } else if (c == '"') {
+            st = State::kString;
+            clean[i] = '"';
+          } else if (c == '\'') {
+            st = State::kChar;
+            clean[i] = '\'';
+          } else {
+            clean[i] = c;
+          }
+          break;
+        case State::kLineComment:
+          break;  // rest of line is comment
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            st = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            st = State::kCode;
+            clean[i] = '"';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            st = State::kCode;
+            clean[i] = '\'';
+          }
+          break;
+        case State::kRaw: {
+          if (line.compare(i, raw_delim.size(), raw_delim) == 0) {
+            i += raw_delim.size() - 1;
+            clean[i] = '"';
+            st = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(clean));
+  }
+  return out;
+}
+
+// ---- small token helpers ----------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Reads the identifier ending at (and including) position `end` (inclusive).
+std::string ident_ending_at(const std::string& s, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && ident_char(s[b - 1])) --b;
+  if (!ident_char(s[end])) return {};
+  return s.substr(b, end - b + 1);
+}
+
+std::string ident_starting_at(const std::string& s, std::size_t begin) {
+  std::size_t e = begin;
+  while (e < s.size() && ident_char(s[e])) ++e;
+  return s.substr(begin, e - begin);
+}
+
+std::size_t skip_spaces_back(const std::string& s, std::size_t i) {
+  // Returns index of last non-space char at or before i, or npos.
+  while (i != std::string::npos && i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i]))) {
+    if (i == 0) return std::string::npos;
+    --i;
+  }
+  return i;
+}
+
+std::size_t skip_spaces_fwd(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ---- rule: ring-raw-arith ---------------------------------------------------
+
+// Collects names declared with type MatrixU64 in this file (parameters and
+// locals; comma-chained declarators included). Function names that *return*
+// MatrixU64 also land in the registry, which is harmless: a name directly
+// followed by '(' is never treated as an operand.
+std::set<std::string> collect_ring_vars(const std::vector<std::string>& lines) {
+  std::set<std::string> vars;
+  for (const std::string& line : lines) {
+    std::size_t pos = 0;
+    while ((pos = line.find("MatrixU64", pos)) != std::string::npos) {
+      // Reject identifiers that merely contain the token (e.g. MatrixU64Ptr).
+      const std::size_t after = pos + 9;
+      if ((pos > 0 && ident_char(line[pos - 1])) ||
+          (after < line.size() && ident_char(line[after]))) {
+        pos = after;
+        continue;
+      }
+      std::size_t i = skip_spaces_fwd(line, after);
+      while (i < line.size() && (line[i] == '&' || line[i] == '*')) ++i;
+      i = skip_spaces_fwd(line, i);
+      for (;;) {
+        const std::string name = ident_starting_at(line, i);
+        if (name.empty()) break;
+        vars.insert(name);
+        i += name.size();
+        i = skip_spaces_fwd(line, i);
+        // Skip an initializer / constructor-call to find a chained declarator.
+        if (i < line.size() && line[i] == '(') {
+          int depth = 0;
+          while (i < line.size()) {
+            if (line[i] == '(') ++depth;
+            if (line[i] == ')' && --depth == 0) {
+              ++i;
+              break;
+            }
+            ++i;
+          }
+          i = skip_spaces_fwd(line, i);
+        } else if (i < line.size() && line[i] == '=') {
+          while (i < line.size() && line[i] != ',' && line[i] != ';') ++i;
+        }
+        if (i < line.size() && line[i] == ',') {
+          i = skip_spaces_fwd(line, i + 1);
+          // Step over cv-qualifiers in parameter lists.
+          while (true) {
+            const std::string word = ident_starting_at(line, i);
+            if (word == "const" || word == "volatile") {
+              i = skip_spaces_fwd(line, i + word.size());
+            } else {
+              break;
+            }
+          }
+          continue;
+        }
+        break;
+      }
+      pos = after;
+    }
+  }
+  vars.erase("const");
+  vars.erase("volatile");
+  return vars;
+}
+
+// Resolves the operand to the *left* of operator position `op` to a matrix
+// variable name, handling `name` and `name.data()[...]` shapes.
+std::string left_operand_var(const std::string& s, std::size_t op,
+                             const std::set<std::string>& vars) {
+  if (op == 0) return {};
+  std::size_t i = skip_spaces_back(s, op - 1);
+  if (i == std::string::npos) return {};
+  if (s[i] == ']') {
+    // name.data()[...]  — walk back over the subscript.
+    int depth = 0;
+    while (true) {
+      if (s[i] == ']') ++depth;
+      if (s[i] == '[' && --depth == 0) break;
+      if (i == 0) return {};
+      --i;
+    }
+    if (i == 0) return {};
+    i = skip_spaces_back(s, i - 1);
+    if (i == std::string::npos || s[i] != ')') {
+      // Plain subscript ident[...]: resolve the array identifier itself.
+      const std::string name = ident_ending_at(s, i);
+      return vars.count(name) ? name : std::string{};
+    }
+    // ...data()[  — walk back over the call parens.
+    int pd = 0;
+    while (true) {
+      if (s[i] == ')') ++pd;
+      if (s[i] == '(' && --pd == 0) break;
+      if (i == 0) return {};
+      --i;
+    }
+    if (i == 0) return {};
+    i = skip_spaces_back(s, i - 1);
+    const std::string fn = ident_ending_at(s, i);
+    if (fn != "data") return {};
+    i -= fn.size();
+    if (i == 0 || s[i - 1] != '.') return {};
+    const std::string name = ident_ending_at(s, i - 2);
+    return vars.count(name) ? name : std::string{};
+  }
+  if (ident_char(s[i])) {
+    const std::string name = ident_ending_at(s, i);
+    // Reject members of some other object (foo.m) and qualified names.
+    const std::size_t b = i + 1 - name.size();
+    if (b > 0 && (s[b - 1] == '.' || s[b - 1] == ':')) return {};
+    return vars.count(name) ? name : std::string{};
+  }
+  return {};
+}
+
+std::string right_operand_var(const std::string& s, std::size_t after_op,
+                              const std::set<std::string>& vars) {
+  const std::size_t i = skip_spaces_fwd(s, after_op);
+  if (i >= s.size() || !ident_char(s[i])) return {};
+  const std::string name = ident_starting_at(s, i);
+  if (!vars.count(name)) return {};
+  const std::size_t j = skip_spaces_fwd(s, i + name.size());
+  if (j < s.size() && s[j] == '(') return {};  // function call, not a var
+  if (j < s.size() && s[j] == '.') {
+    // Member access: only name.data()[...] is a use of the share words
+    // themselves; name.rows() / name.bytes() etc. are metadata.
+    static const std::regex data_sub(R"(^\.\s*data\s*\(\s*\)\s*\[)");
+    if (!std::regex_search(s.substr(j), data_sub)) return {};
+  }
+  return name;
+}
+
+void check_ring_arith(const std::string& path,
+                      const std::vector<std::string>& clean,
+                      std::vector<Violation>& out) {
+  if (path_ends_with(path, "mpc/ring.cpp") ||
+      path_ends_with(path, "mpc/ring.hpp")) {
+    return;  // the one audited home of raw ring-word arithmetic
+  }
+  const std::set<std::string> vars = collect_ring_vars(clean);
+  if (vars.empty()) return;
+
+  for (std::size_t ln = 0; ln < clean.size(); ++ln) {
+    const std::string& s = clean[ln];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c != '+' && c != '-' && c != '*') continue;
+      const char prev = i > 0 ? s[i - 1] : '\0';
+      const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+      if (next == c || prev == c) continue;           // ++ -- (and **)
+      if (c == '-' && next == '>') continue;          // ->
+      if (c == '*' && (prev == '(' || next == ')')) continue;  // casts/deref
+      // Unary context: operator preceded by another operator or open paren.
+      const std::size_t lp = skip_spaces_back(s, i == 0 ? 0 : i - 1);
+      if (i == 0 || lp == std::string::npos) continue;
+      const char lc = s[lp];
+      const bool compound = next == '=';
+      if (std::string("(,=<>?:&|!+-*/%^{[;").find(lc) != std::string::npos) {
+        continue;  // unary +/-/deref — not share arithmetic
+      }
+      const std::string lv = left_operand_var(s, i, vars);
+      const std::string rv =
+          right_operand_var(s, i + (compound ? 2 : 1), vars);
+      const std::string hit = !lv.empty() ? lv : rv;
+      if (hit.empty()) continue;
+      std::ostringstream msg;
+      msg << "raw '" << c << (compound ? "=" : "")
+          << "' on ring share word '" << hit
+          << "' — use psml::mpc ring ops (ring_add/ring_sub/ring_matmul/"
+             "truncate_share) so Z_2^64 semantics stay audited in mpc/ring.*";
+      out.push_back({path, ln + 1, "ring-raw-arith", msg.str()});
+    }
+  }
+}
+
+// ---- rule: rng-outside-rng --------------------------------------------------
+
+void check_rng(const std::string& path, const std::vector<std::string>& clean,
+               std::vector<Violation>& out) {
+  if (path_contains(path, "src/rng/") || path_contains(path, "/rng/")) return;
+  static const std::regex re(
+      R"((^|[^\w])(s?rand\s*\(|mt19937(_64)?\b|random_device\b))");
+  for (std::size_t ln = 0; ln < clean.size(); ++ln) {
+    if (std::regex_search(clean[ln], re)) {
+      out.push_back({path, ln + 1, "rng-outside-rng",
+                     "raw C/std randomness outside src/rng/ — secret shares "
+                     "and masks must come from psml::rng (Philox / seeded "
+                     "generators)"});
+    }
+  }
+}
+
+// ---- rule: secret-logging ---------------------------------------------------
+
+bool in_secure_path(const std::string& path) {
+  return path_contains(path, "src/mpc/") ||
+         path_contains(path, "src/ml/secure/") ||
+         path_contains(path, "src/parsecureml/") ||
+         path_contains(path, "src/compress/");
+}
+
+void check_secret_logging(const std::string& path,
+                          const std::vector<std::string>& clean,
+                          std::vector<Violation>& out) {
+  if (!in_secure_path(path)) return;
+  static const std::regex sink(
+      R"(\b(printf|fprintf|puts|fputs|std::cout|std::cerr|PSML_TRACE|PSML_DEBUG|PSML_INFO|PSML_WARN|PSML_ERROR|PSML_LOG)\b)");
+  static const std::regex secret(
+      R"(share|triplet|secret|mask|seed|\.s0\b|\.s1\b|\.data\s*\()",
+      std::regex::icase);
+  for (std::size_t ln = 0; ln < clean.size(); ++ln) {
+    if (!std::regex_search(clean[ln], sink)) continue;
+    // Gather the full statement (to the terminating ';'), capped at 10 lines.
+    std::string stmt;
+    for (std::size_t j = ln; j < clean.size() && j < ln + 10; ++j) {
+      stmt += clean[j];
+      stmt += ' ';
+      if (clean[j].find(';') != std::string::npos) break;
+    }
+    if (std::regex_search(stmt, secret)) {
+      out.push_back({path, ln + 1, "secret-logging",
+                     "logging/printing references share/triplet/mask/seed "
+                     "material in a secure code path — a debug print of "
+                     "secret-shared data is a leak"});
+    }
+  }
+}
+
+// ---- rule: naked-thread -----------------------------------------------------
+
+bool thread_owner_file(const std::string& path) {
+  return path_ends_with(path, "common/thread_pool.hpp") ||
+         path_ends_with(path, "common/thread_pool.cpp") ||
+         path_ends_with(path, "pipeline/async_lane.hpp") ||
+         path_ends_with(path, "pipeline/async_lane.cpp") ||
+         path_ends_with(path, "sgpu/stream.hpp") ||
+         path_ends_with(path, "sgpu/stream.cpp") ||
+         path_contains(path, "src/net/");
+}
+
+void check_naked_thread(const std::string& path,
+                        const std::vector<std::string>& clean,
+                        std::vector<Violation>& out) {
+  if (thread_owner_file(path)) return;
+  // std::thread not followed by :: (so std::thread::id and
+  // std::thread::hardware_concurrency stay legal), plus pthread_create.
+  static const std::regex re(R"(std::j?thread\b(?!\s*::)|\bpthread_create\b)");
+  for (std::size_t ln = 0; ln < clean.size(); ++ln) {
+    if (std::regex_search(clean[ln], re)) {
+      out.push_back({path, ln + 1, "naked-thread",
+                     "raw thread construction outside the owned concurrency "
+                     "primitives — use ThreadPool, AsyncLane, sgpu::Stream, "
+                     "or a channel backend so shutdown and exception "
+                     "propagation stay centralized"});
+    }
+  }
+}
+
+// ---- driver -----------------------------------------------------------------
+
+std::optional<std::vector<std::string>> read_lines(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::vector<AllowEntry> read_allowlist(const fs::path& p, bool& ok) {
+  std::vector<AllowEntry> entries;
+  ok = true;
+  auto lines = read_lines(p);
+  if (!lines) {
+    std::fprintf(stderr, "psml-lint: cannot read allowlist %s\n",
+                 p.string().c_str());
+    ok = false;
+    return entries;
+  }
+  for (std::size_t i = 0; i < lines->size(); ++i) {
+    const std::string& raw = (*lines)[i];
+    const std::size_t b = raw.find_first_not_of(" \t");
+    if (b == std::string::npos || raw[b] == '#') continue;
+    std::istringstream iss(raw);
+    AllowEntry e;
+    e.line = i + 1;
+    iss >> e.rule >> e.path_suffix;
+    std::getline(iss, e.justification);
+    const std::size_t jb = e.justification.find_first_not_of(" \t—-");
+    e.justification =
+        jb == std::string::npos ? "" : e.justification.substr(jb);
+    if (e.rule.empty() || e.path_suffix.empty() || e.justification.empty()) {
+      std::fprintf(stderr,
+                   "psml-lint: allowlist %s:%zu: need '<rule> <path-suffix> "
+                   "<justification>'\n",
+                   p.string().c_str(), i + 1);
+      ok = false;
+      continue;
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  fs::path allowlist_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psml-lint: --allowlist needs a file\n");
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: psml-lint [--allowlist FILE] DIR-OR-FILE...\n");
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "psml-lint: no inputs (try --help)\n");
+    return 2;
+  }
+
+  bool allow_ok = true;
+  std::vector<AllowEntry> allow;
+  if (!allowlist_path.empty()) allow = read_allowlist(allowlist_path, allow_ok);
+
+  std::vector<fs::path> files;
+  for (const std::string& r : roots) {
+    fs::path root(r);
+    if (fs::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root)) {
+      std::fprintf(stderr, "psml-lint: no such input: %s\n", r.c_str());
+      return 2;
+    }
+    for (const auto& ent : fs::recursive_directory_iterator(root)) {
+      if (!ent.is_regular_file()) continue;
+      const std::string ext = ent.path().extension().string();
+      if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h") {
+        files.push_back(ent.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  for (const fs::path& f : files) {
+    auto lines = read_lines(f);
+    if (!lines) {
+      std::fprintf(stderr, "psml-lint: cannot read %s\n", f.string().c_str());
+      return 2;
+    }
+    const std::vector<std::string> clean = strip_source(*lines);
+    const std::string path = f.generic_string();
+    check_ring_arith(path, clean, violations);
+    check_rng(path, clean, violations);
+    check_secret_logging(path, clean, violations);
+    check_naked_thread(path, clean, violations);
+  }
+
+  std::size_t reported = 0, suppressed = 0;
+  for (const Violation& v : violations) {
+    const AllowEntry* match = nullptr;
+    for (const AllowEntry& e : allow) {
+      if (e.rule == v.rule && path_ends_with(v.file, e.path_suffix)) {
+        match = &e;
+        break;
+      }
+    }
+    if (match) {
+      ++match->uses;
+      ++suppressed;
+      continue;
+    }
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+    ++reported;
+  }
+
+  bool stale = false;
+  for (const AllowEntry& e : allow) {
+    if (e.uses == 0) {
+      std::fprintf(stderr,
+                   "psml-lint: stale allowlist entry at %s:%zu (%s %s) — "
+                   "matched nothing, remove it\n",
+                   allowlist_path.string().c_str(), e.line, e.rule.c_str(),
+                   e.path_suffix.c_str());
+      stale = true;
+    }
+  }
+
+  std::printf("psml-lint: %zu file(s), %zu violation(s), %zu allowlisted\n",
+              files.size(), reported, suppressed);
+  return (reported == 0 && !stale && allow_ok) ? 0 : 1;
+}
