@@ -1,0 +1,43 @@
+// Secret-taint annotations read by tools/psml-taint.
+//
+// The macros expand to nothing for the compiler; the taint analyzer matches
+// the raw tokens in the source text (before preprocessing), so they are
+// zero-cost markers with tool-enforced meaning:
+//
+//   PSML_SECRET on a struct/class   every variable of that type carries
+//                                   secret taint (share, triplet, or mask
+//                                   words).
+//   PSML_SECRET on a function       a non-void function's return value is
+//                                   tainted; a void function taints its
+//                                   first argument (the out-parameter
+//                                   convention of the rng:: fills).
+//   PSML_SECRET on a variable       the variable itself is tainted.
+//   PSML_PUBLIC on a variable       the variable is pinned clean — the
+//                                   analyzer never taints it. Use only for
+//                                   values that are public by construction
+//                                   (already-masked wire payloads, shapes,
+//                                   tags).
+//
+// psml::declassify(x) is the one sanctioned, greppable escape hatch: it is
+// an identity function at runtime, and the analyzer treats its result as
+// clean. Every call site is an audited claim that the value is safe to leave
+// the secure domain (it is masked, it is a share being handed to the single
+// party entitled to it, or it has been opened by the protocol itself).
+// docs/ANALYSIS.md lists the current call sites; adding one is a
+// review-worthy event, exactly like an allowlist entry.
+#pragma once
+
+#include <utility>
+
+#define PSML_SECRET
+#define PSML_PUBLIC
+
+namespace psml {
+
+// Identity pass-through marking an audited secret->public transition.
+template <typename T>
+constexpr decltype(auto) declassify(T&& value) noexcept {
+  return std::forward<T>(value);
+}
+
+}  // namespace psml

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/taint.hpp"
 #include "mpc/party.hpp"
 #include "mpc/ring.hpp"
 #include "mpc/share.hpp"
@@ -15,7 +16,7 @@
 
 namespace psml::mpc {
 
-struct RingTripletShare {
+struct PSML_SECRET RingTripletShare {
   MatrixU64 u, v, z;
 };
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/taint.hpp"
 #include "mpc/ring.hpp"
 #include "rng/rng.hpp"
 #include "tensor/matrix.hpp"
@@ -20,7 +21,7 @@
 namespace psml::mpc {
 
 template <typename T>
-struct SharePair {
+struct PSML_SECRET SharePair {
   Matrix<T> s0;  // server 0's share
   Matrix<T> s1;  // server 1's share
 };
@@ -31,7 +32,8 @@ struct SharePair {
 inline constexpr float kFloatMaskRadius = 16.0f;
 
 // Split `x` into two float shares: s0 uniform random, s1 = x - s0.
-inline SharePair<float> share_float(const MatrixF& x, std::uint64_t seed) {
+PSML_SECRET inline SharePair<float> share_float(const MatrixF& x,
+                                                std::uint64_t seed) {
   SharePair<float> p;
   p.s0.resize(x.rows(), x.cols());
   rng::fill_uniform_par(p.s0, -kFloatMaskRadius, kFloatMaskRadius, seed);
@@ -47,8 +49,8 @@ inline MatrixF reconstruct_float(const MatrixF& s0, const MatrixF& s1) {
 
 // Split `x` (already ring-encoded, see ring.hpp) into two ring shares:
 // s0 uniform over Z_2^64, s1 = x - s0 (mod 2^64). Unconditionally hiding.
-inline SharePair<std::uint64_t> share_ring(const MatrixU64& x,
-                                           std::uint64_t seed) {
+PSML_SECRET inline SharePair<std::uint64_t> share_ring(const MatrixU64& x,
+                                                       std::uint64_t seed) {
   SharePair<std::uint64_t> p;
   p.s0.resize(x.rows(), x.cols());
   rng::fill_uniform_u64_par(p.s0, seed);

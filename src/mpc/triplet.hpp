@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/taint.hpp"
 #include "mpc/share.hpp"
 #include "sgpu/device.hpp"
 #include "tensor/matrix.hpp"
@@ -37,14 +38,14 @@ struct TripletSpec {
 };
 
 // One server's share of a multiplication triplet (matmul or elementwise).
-struct TripletShare {
+struct PSML_SECRET TripletShare {
   MatrixF u, v, z;
 };
 
 // One server's share of the activation-comparison material: Beaver triplets
 // for the two masked products and additive shares of the positive
 // multiplicative masks s1, s2 (see activation.hpp).
-struct ActivationShare {
+struct PSML_SECRET ActivationShare {
   TripletShare t_lo, t_hi;
   MatrixF s_lo, s_hi;
 };
@@ -58,7 +59,7 @@ struct ActivationShare {
 // consuming it, exactly modelling that reuse. The security trade-off
 // (revealed E-deltas equal data deltas) is inherent to the paper's scheme
 // and documented in DESIGN.md.
-class TripletStore {
+class PSML_SECRET TripletStore {
  public:
   void push_matmul(TripletShare t) { matmul_.push_back(std::move(t)); }
   void push_elementwise(TripletShare t) { elem_.push_back(std::move(t)); }

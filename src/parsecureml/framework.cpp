@@ -3,6 +3,7 @@
 #include <cmath>
 #include <thread>
 
+#include "common/taint.hpp"
 #include "common/timer.hpp"
 #include "ml/checkpoint.hpp"
 #include "net/local_channel.hpp"
@@ -252,14 +253,19 @@ RunResult run_secure(const RunConfig& cfg, bool training) {
   Timer tx_timer;
   {
     std::thread c([&] {
+      // declassify(): the client hands each server its own additive share of
+      // the inputs/labels — the single party entitled to those words (same
+      // dealer-to-owner handoff as store_transfer.cpp).
       send_store(*harness.cs0.a, st0);
-      net::send_matrix(*harness.cs0.a, mpc::tags::kClientData, x_shares.s0);
+      net::send_matrix(*harness.cs0.a, mpc::tags::kClientData,
+                       psml::declassify(x_shares.s0));
       net::send_matrix(*harness.cs0.a, mpc::tags::kClientData + 1,
-                       y_shares.s0);
+                       psml::declassify(y_shares.s0));
       send_store(*harness.cs1.a, st1);
-      net::send_matrix(*harness.cs1.a, mpc::tags::kClientData, x_shares.s1);
+      net::send_matrix(*harness.cs1.a, mpc::tags::kClientData,
+                       psml::declassify(x_shares.s1));
       net::send_matrix(*harness.cs1.a, mpc::tags::kClientData + 1,
-                       y_shares.s1);
+                       psml::declassify(y_shares.s1));
     });
     run_two_parties(
         [&] {

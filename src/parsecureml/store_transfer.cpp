@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/taint.hpp"
 #include "mpc/party.hpp"
 #include "net/serialize.hpp"
 
@@ -18,10 +19,14 @@ struct StoreHeader {
   std::uint32_t n_act;
 };
 
+// declassify(): this is the client handing server i its *own* share of the
+// offline material — the one party entitled to exactly these words. The
+// other server's share never crosses this channel, so the additive masking
+// stays information-theoretic (paper Sec. 2.2, client-aided dealer model).
 void send_triplet(net::Channel& ch, const mpc::TripletShare& t) {
-  net::send_matrix(ch, kStoreMatrix, t.u);
-  net::send_matrix(ch, kStoreMatrix, t.v);
-  net::send_matrix(ch, kStoreMatrix, t.z);
+  net::send_matrix(ch, kStoreMatrix, psml::declassify(t.u));
+  net::send_matrix(ch, kStoreMatrix, psml::declassify(t.v));
+  net::send_matrix(ch, kStoreMatrix, psml::declassify(t.z));
 }
 
 mpc::TripletShare recv_triplet(net::Channel& ch) {
@@ -47,8 +52,9 @@ void send_store(net::Channel& ch, const mpc::TripletStore& store) {
   for (const auto& a : store.activations()) {
     send_triplet(ch, a.t_lo);
     send_triplet(ch, a.t_hi);
-    net::send_matrix(ch, kStoreMatrix, a.s_lo);
-    net::send_matrix(ch, kStoreMatrix, a.s_hi);
+    // Same dealer-to-owner handoff as send_triplet above.
+    net::send_matrix(ch, kStoreMatrix, psml::declassify(a.s_lo));
+    net::send_matrix(ch, kStoreMatrix, psml::declassify(a.s_hi));
   }
 }
 

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/taint.hpp"
 #include "tensor/matrix.hpp"
 
 namespace psml::rng {
@@ -24,14 +25,15 @@ struct Philox4x32 {
 
 // Uniform floats in [lo, hi) from counters [0, m.size()); deterministic in
 // `seed` and trivially parallel (each element depends only on its index).
-void philox_fill_uniform(MatrixF& m, float lo, float hi, std::uint64_t seed);
+PSML_SECRET void philox_fill_uniform(MatrixF& m, float lo, float hi,
+                                     std::uint64_t seed);
 
 // Parallel version running on the global thread pool (the "device kernel"
 // without the device; sgpu wraps this in a launch).
-void philox_fill_uniform_par(MatrixF& m, float lo, float hi,
-                             std::uint64_t seed);
+PSML_SECRET void philox_fill_uniform_par(MatrixF& m, float lo, float hi,
+                                         std::uint64_t seed);
 
 // Raw 64-bit outputs, one per element.
-void philox_fill_u64(MatrixU64& m, std::uint64_t seed);
+PSML_SECRET void philox_fill_u64(MatrixU64& m, std::uint64_t seed);
 
 }  // namespace psml::rng

@@ -1,0 +1,17 @@
+// rng-outside-rng and naked-thread fixture: this path is outside src/rng/
+// and outside the owned-concurrency files, so both rules are armed.
+
+void bad_rng() {
+  std::mt19937 gen(42);  // EXPECT: rng-outside-rng
+  (void)gen;
+}
+
+void bad_thread() {
+  std::thread t([] { work(); });  // EXPECT: naked-thread
+  t.join();
+}
+
+void fine_id() {
+  auto id = std::this_thread::get_id();  // clean: no thread construction
+  (void)id;
+}

@@ -1,0 +1,30 @@
+// ring-raw-arith fixture: raw word arithmetic on ring shares must be flagged
+// even through a `using` alias, a typedef, or an auto& rebinding; the
+// sanctioned ring_* calls must stay clean.
+
+using Share = MatrixU64;     // alias chain: tracked by the type registry
+typedef Share RingWord;      // alias of an alias
+
+MatrixU64 ring_add(const MatrixU64& a, const MatrixU64& b);
+
+MatrixU64 bad_sum(const MatrixU64& a, const MatrixU64& b) {
+  MatrixU64 c = a;
+  c.data()[0] = a.data()[0] + b.data()[0];  // EXPECT: ring-raw-arith
+  return c;
+}
+
+Share bad_alias(const Share& x, const Share& y) {
+  Share s = x;
+  s.data()[1] = x.data()[1] * y.data()[1];  // EXPECT: ring-raw-arith
+  return s;
+}
+
+RingWord bad_ref(RingWord& w, const RingWord& other) {
+  auto& r = w;
+  r.data()[2] = r.data()[2] - other.data()[2];  // EXPECT: ring-raw-arith
+  return w;
+}
+
+MatrixU64 good_sum(const MatrixU64& a, const MatrixU64& b) {
+  return ring_add(a, b);  // clean: audited ring op
+}

@@ -1,0 +1,15 @@
+// secret-logging fixture: the rule is path-gated, so this file lives under a
+// src/mpc/ suffix. Logging share material must be flagged; logging public
+// metadata must not.
+
+void leak_share(const MatrixF& share0) {
+  PSML_INFO("s0[0]=%f", share0.data()[0]);  // EXPECT: secret-logging
+}
+
+void leak_triplet(const MatrixF& m) {
+  std::printf("%f", triplet_cache[0]);  // EXPECT: secret-logging
+}
+
+void fine_metadata(unsigned long rows, unsigned long cols) {
+  PSML_INFO("matmul %lux%lu", rows, cols);  // clean: shape only
+}

@@ -1,0 +1,12 @@
+// Cross-TU fixture, flow half: passing a secret share to debug_dump (defined
+// in cross_file_sink.cpp) must be flagged via the interprocedural summary;
+// passing public data must pass.
+
+void leak_via_helper(const SharePair& p) {
+  MatrixF s = p.a;
+  debug_dump(s);  // EXPECT: taint-to-log
+}
+
+void fine_via_helper(const MatrixF& pub) {
+  debug_dump(pub);  // clean: no secret reaches the logged parameter
+}

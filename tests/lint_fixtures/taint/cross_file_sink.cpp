@@ -1,0 +1,7 @@
+// Cross-TU fixture, sink half: debug_dump logs its parameter, so its summary
+// marks param 0 as a taint-to-log sink. Nothing here is secret on its own —
+// the violation materializes at the *call site* in cross_file_flow.cpp.
+
+void debug_dump(const MatrixF& m) {
+  PSML_INFO("m00=%f", m.at(0, 0));
+}

@@ -1,0 +1,12 @@
+// taint-to-persist fixture: serializing a secret RNG seed into a checkpoint
+// must be flagged; serializing public shape metadata must pass.
+
+void checkpoint_seed(std::ostream& os) {
+  std::uint64_t seed = random_seed();
+  os.write(reinterpret_cast<const char*>(&seed), sizeof(seed));  // EXPECT: taint-to-persist
+}
+
+void checkpoint_dims(std::ostream& os, const MatrixF& w) {
+  std::uint64_t rows = w.rows();
+  os.write(reinterpret_cast<const char*>(&rows), sizeof(rows));  // clean: shape only
+}

@@ -1,0 +1,22 @@
+// send-before-mask fixture: in a function that performs triplet masking, an
+// exchange must come *after* the E_i = A_i - U_i step (paper Eq. 6/8), and
+// every secret operand exchanged must be blinded. Functions that never mask
+// are outside the protocol pass.
+
+void send_premature(Channel& ch, const MatrixF& a, const TripletShare& t) {
+  MatrixF e;
+  ch.send(1, e);  // EXPECT: send-before-mask
+  sub(a, t.u, e);
+}
+
+void send_unmasked_operand(Channel& ch, const MatrixF& a, const MatrixF& b,
+                           const TripletShare& t) {
+  MatrixF e;
+  sub(a, t.u, e);
+  ch.send(1, e);  // clean: masked above, then exchanged
+  ch.send(2, b);  // EXPECT: send-before-mask
+}
+
+void send_public(Channel& ch, const MatrixF& pub) {
+  ch.send(3, pub);  // clean: no masking in this function, pass is disarmed
+}

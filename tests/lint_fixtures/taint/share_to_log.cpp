@@ -1,0 +1,20 @@
+// taint-to-log fixture: secret share material reaching a print sink must be
+// flagged; metadata and declassified values must pass.
+
+void log_share(const SharePair& p) {
+  float y = p.s1;
+  std::printf("%f", y);  // EXPECT: taint-to-log
+}
+
+void log_stream(const SharePair& p) {
+  std::cout << p.s1;  // EXPECT: taint-to-log
+}
+
+void log_fine(const SharePair& p) {
+  PSML_INFO("rows=%zu", p.rows());  // clean: shape metadata launders taint
+}
+
+void log_declassified(Channel& ch, const SharePair& p) {
+  float open_val = reconstruct_float(ch, p);
+  PSML_INFO("loss=%f", open_val);  // clean: sanctioned declassifier
+}

@@ -1,0 +1,13 @@
+// taint-to-channel fixture: a share sent raw over the wire must be flagged;
+// the masked (E_i = A_i - U_i) exchange of the Beaver online phase must pass.
+
+void send_share(Channel& ch, const SharePair& p) {
+  MatrixF raw = p.a;
+  ch.send(42, raw);  // EXPECT: taint-to-channel
+}
+
+void send_masked(Channel& ch, const SharePair& p, const TripletShare& t) {
+  MatrixF e;
+  sub(p.a, t.u, e);
+  ch.send(7, e);  // clean: e is blinded by the triplet mask above
+}

@@ -1,0 +1,27 @@
+// triplet-double-consume fixture: the same triplet component feeding two
+// different masks on one control path must be flagged; if/else-exclusive
+// uses and re-emits into the same destination must pass.
+
+void double_consume(const TripletShare& t, const MatrixF& a, const MatrixF& b) {
+  MatrixF e;
+  MatrixF f;
+  sub(a, t.u, e);
+  sub(b, t.u, f);  // EXPECT: triplet-double-consume
+}
+
+void branch_consume(bool flip, const TripletShare& t, const MatrixF& a,
+                    const MatrixF& b) {
+  MatrixF e;
+  MatrixF f;
+  if (flip) {
+    sub(a, t.u, e);  // clean: exclusive with the else arm below
+  } else {
+    sub(b, t.u, f);
+  }
+}
+
+void same_dest_ok(const TripletShare& t, const MatrixF& a) {
+  MatrixF e;
+  sub(a, t.u, e);
+  sub(a, t.u, e);  // clean: re-emit into the same destination
+}

@@ -1,0 +1,214 @@
+#include "json_mini.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace psml::lint::json {
+
+const Value* Value::get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : it->second.get();
+}
+
+const Value* Value::at(std::size_t i) const {
+  if (kind != Kind::kArray || i >= array.size()) return nullptr;
+  return array[i].get();
+}
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string err;
+
+  explicit Parser(const std::string& text) : s(text) {}
+
+  bool fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at offset " + std::to_string(i);
+    }
+    return false;
+  }
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+
+  bool literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s.compare(i, n, lit) != 0) return fail("bad literal");
+    i += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (i >= s.size() || s[i] != '"') return fail("expected string");
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        if (i + 1 >= s.size()) return fail("truncated escape");
+        const char e = s[i + 1];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 5 >= s.size()) return fail("truncated \\u escape");
+            for (std::size_t k = 2; k <= 5; ++k) {
+              if (!std::isxdigit(static_cast<unsigned char>(s[i + k]))) {
+                return fail("bad \\u escape");
+              }
+            }
+            out.append(s, i, 6);  // keep verbatim; validation only
+            i += 4;
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+        i += 2;
+      } else if (static_cast<unsigned char>(s[i]) < 0x20) {
+        return fail("control character in string");
+      } else {
+        out += s[i++];
+      }
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;  // closing quote
+    return true;
+  }
+
+  ValuePtr parse_value() {
+    ws();
+    if (i >= s.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    auto v = std::make_shared<Value>();
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      v->kind = Kind::kObject;
+      ws();
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return v;
+      }
+      for (;;) {
+        ws();
+        std::string key;
+        if (!parse_string(key)) return nullptr;
+        ws();
+        if (i >= s.size() || s[i] != ':') {
+          fail("expected ':'");
+          return nullptr;
+        }
+        ++i;
+        ValuePtr member = parse_value();
+        if (!member) return nullptr;
+        v->object[key] = std::move(member);
+        ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < s.size() && s[i] == '}') {
+          ++i;
+          return v;
+        }
+        fail("expected ',' or '}'");
+        return nullptr;
+      }
+    }
+    if (c == '[') {
+      ++i;
+      v->kind = Kind::kArray;
+      ws();
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return v;
+      }
+      for (;;) {
+        ValuePtr elem = parse_value();
+        if (!elem) return nullptr;
+        v->array.push_back(std::move(elem));
+        ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < s.size() && s[i] == ']') {
+          ++i;
+          return v;
+        }
+        fail("expected ',' or ']'");
+        return nullptr;
+      }
+    }
+    if (c == '"') {
+      v->kind = Kind::kString;
+      if (!parse_string(v->str)) return nullptr;
+      return v;
+    }
+    if (c == 't') {
+      if (!literal("true")) return nullptr;
+      v->kind = Kind::kBool;
+      v->boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return nullptr;
+      v->kind = Kind::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return nullptr;
+      return v;
+    }
+    // number
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == '+' || s[i] == '-')) {
+      ++i;
+    }
+    if (i == start) {
+      fail("unexpected character");
+      return nullptr;
+    }
+    v->kind = Kind::kNumber;
+    v->number = std::strtod(s.substr(start, i - start).c_str(), nullptr);
+    return v;
+  }
+};
+
+}  // namespace
+
+ValuePtr parse(const std::string& text, std::string& error) {
+  Parser p(text);
+  ValuePtr v = p.parse_value();
+  if (v) {
+    p.ws();
+    if (p.i != text.size()) {
+      p.fail("trailing content");
+      v = nullptr;
+    }
+  }
+  error = p.err;
+  return v;
+}
+
+}  // namespace psml::lint::json

@@ -1,0 +1,38 @@
+// Minimal recursive-descent JSON parser — just enough to structurally
+// validate the SARIF 2.1.0 logs our checkers emit (tests/lint_selftest.cpp).
+// Not a general-purpose library: numbers are stored as doubles, no
+// \uXXXX surrogate-pair decoding (escapes are validated and kept verbatim).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psml::lint::json {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+struct Value {
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  bool is(Kind k) const { return kind == k; }
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* get(const std::string& key) const;
+  // Array element; nullptr when out of range or not an array.
+  const Value* at(std::size_t i) const;
+};
+
+// Parses `text`; on failure returns nullptr and sets `error` to a
+// position-tagged message.
+ValuePtr parse(const std::string& text, std::string& error);
+
+}  // namespace psml::lint::json

@@ -1,0 +1,284 @@
+#include "lint_common.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sarif.hpp"
+
+namespace fs = std::filesystem;
+
+namespace psml::lint {
+
+// ---- source loading / stripping -------------------------------------------
+
+std::optional<std::vector<std::string>> read_lines(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::vector<std::string> strip_source(const std::vector<std::string>& lines) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State st = State::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+
+  for (const std::string& line : lines) {
+    std::string clean(line.size(), ' ');
+    if (st == State::kLineComment) st = State::kCode;  // // ends at newline
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (st) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            st = State::kLineComment;
+            ++i;
+          } else if (c == '/' && next == '*') {
+            st = State::kBlockComment;
+            ++i;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                     line[i - 1])) &&
+                                 line[i - 1] != '_'))) {
+            // Raw string literal R"delim( ... )delim"
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < line.size() && line[p] != '(') delim += line[p++];
+            raw_delim = ")" + delim + "\"";
+            st = State::kRaw;
+            clean[i] = '"';  // keep a marker so tokenizers see a literal
+            i = p;           // skip past the opening paren
+          } else if (c == '"') {
+            st = State::kString;
+            clean[i] = '"';
+          } else if (c == '\'') {
+            st = State::kChar;
+            clean[i] = '\'';
+          } else {
+            clean[i] = c;
+          }
+          break;
+        case State::kLineComment:
+          break;  // rest of line is comment
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            st = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            st = State::kCode;
+            clean[i] = '"';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            st = State::kCode;
+            clean[i] = '\'';
+          }
+          break;
+        case State::kRaw: {
+          if (line.compare(i, raw_delim.size(), raw_delim) == 0) {
+            i += raw_delim.size() - 1;
+            clean[i] = '"';
+            st = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(clean));
+  }
+  return out;
+}
+
+// ---- token helpers ---------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string ident_ending_at(const std::string& s, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && ident_char(s[b - 1])) --b;
+  if (!ident_char(s[end])) return {};
+  return s.substr(b, end - b + 1);
+}
+
+std::string ident_starting_at(const std::string& s, std::size_t begin) {
+  std::size_t e = begin;
+  while (e < s.size() && ident_char(s[e])) ++e;
+  return s.substr(begin, e - begin);
+}
+
+std::size_t skip_spaces_back(const std::string& s, std::size_t i) {
+  while (i != std::string::npos && i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i]))) {
+    if (i == 0) return std::string::npos;
+    --i;
+  }
+  return i;
+}
+
+std::size_t skip_spaces_fwd(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ---- input collection ------------------------------------------------------
+
+std::optional<std::vector<fs::path>> collect_inputs(
+    const std::vector<std::string>& roots, const char* tool) {
+  std::vector<fs::path> files;
+  for (const std::string& r : roots) {
+    fs::path root(r);
+    if (fs::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root)) {
+      std::fprintf(stderr, "%s: no such input: %s\n", tool, r.c_str());
+      return std::nullopt;
+    }
+    for (const auto& ent : fs::recursive_directory_iterator(root)) {
+      if (!ent.is_regular_file()) continue;
+      const std::string ext = ent.path().extension().string();
+      if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h") {
+        files.push_back(ent.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// ---- allowlist -------------------------------------------------------------
+
+std::vector<AllowEntry> read_allowlist(const fs::path& p, const char* tool,
+                                       bool& ok) {
+  std::vector<AllowEntry> entries;
+  ok = true;
+  auto lines = read_lines(p);
+  if (!lines) {
+    std::fprintf(stderr, "%s: cannot read allowlist %s\n", tool,
+                 p.string().c_str());
+    ok = false;
+    return entries;
+  }
+  for (std::size_t i = 0; i < lines->size(); ++i) {
+    const std::string& raw = (*lines)[i];
+    const std::size_t b = raw.find_first_not_of(" \t");
+    if (b == std::string::npos || raw[b] == '#') continue;
+    std::istringstream iss(raw);
+    AllowEntry e;
+    e.line = i + 1;
+    iss >> e.rule >> e.path_suffix;
+    std::getline(iss, e.justification);
+    const std::size_t jb = e.justification.find_first_not_of(" \t—-");
+    e.justification =
+        jb == std::string::npos ? "" : e.justification.substr(jb);
+    if (e.rule.empty() || e.path_suffix.empty() || e.justification.empty()) {
+      std::fprintf(stderr,
+                   "%s: allowlist %s:%zu: need '<rule> <path-suffix> "
+                   "<justification>'\n",
+                   tool, p.string().c_str(), i + 1);
+      ok = false;
+      continue;
+    }
+    entries.push_back(std::move(e));
+  }
+  if (entries.size() > kAllowlistBudget) {
+    std::fprintf(stderr,
+                 "%s: allowlist %s has %zu entries — the budget is %zu "
+                 "(ROADMAP contract). Fix the code instead of growing the "
+                 "list.\n",
+                 tool, p.string().c_str(), entries.size(), kAllowlistBudget);
+    ok = false;
+  }
+  return entries;
+}
+
+const AllowEntry* match_allowlist(const std::vector<AllowEntry>& allow,
+                                  const Violation& v) {
+  for (const AllowEntry& e : allow) {
+    if (e.rule == v.rule && path_ends_with(v.file, e.path_suffix)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+// ---- reporting -------------------------------------------------------------
+
+int report_and_finish(const ReportOptions& opts,
+                      const std::vector<RuleInfo>& rules,
+                      const std::vector<Violation>& violations,
+                      const std::vector<AllowEntry>& allow, bool allow_ok,
+                      std::size_t file_count) {
+  std::size_t reported = 0, suppressed = 0;
+  std::vector<bool> is_suppressed(violations.size(), false);
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    if (const AllowEntry* match = match_allowlist(allow, v)) {
+      ++match->uses;
+      ++suppressed;
+      is_suppressed[i] = true;
+      continue;
+    }
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+    ++reported;
+  }
+
+  bool stale = false;
+  for (const AllowEntry& e : allow) {
+    if (e.uses == 0) {
+      std::fprintf(stderr,
+                   "%s: stale allowlist entry at %s:%zu (%s %s) — matched "
+                   "nothing, remove it\n",
+                   opts.tool.c_str(), opts.allowlist_path.string().c_str(),
+                   e.line, e.rule.c_str(), e.path_suffix.c_str());
+      stale = true;
+    }
+  }
+
+  if (!opts.sarif_path.empty()) {
+    if (!write_sarif(opts.sarif_path, opts.tool, opts.version, rules,
+                     violations, is_suppressed)) {
+      std::fprintf(stderr, "%s: cannot write SARIF to %s\n", opts.tool.c_str(),
+                   opts.sarif_path.string().c_str());
+      return 2;
+    }
+  }
+
+  std::printf("%s: %zu file(s), %zu violation(s), %zu allowlisted\n",
+              opts.tool.c_str(), file_count, reported, suppressed);
+  return (reported == 0 && !stale && allow_ok) ? 0 : 1;
+}
+
+}  // namespace psml::lint

@@ -1,0 +1,105 @@
+// Shared infrastructure for the project's static checkers (psml-lint,
+// psml-taint): source stripping, token/path helpers, the violation record,
+// and the justified-allowlist mechanism with its hard entry budget.
+//
+// Both tools are line/token-heuristic, not real C++ parsers. Everything here
+// operates on "stripped" source: comments and string/char literal *contents*
+// replaced by spaces (line breaks preserved, so line numbers stay valid).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psml::lint {
+
+struct Violation {
+  std::string file;  // generic (forward-slash) path as given on the cmdline
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+  std::string justification;
+  std::size_t line = 0;  // line in the allowlist file
+  mutable std::size_t uses = 0;
+};
+
+// Rule metadata carried into SARIF output (and --help text).
+struct RuleInfo {
+  std::string id;
+  std::string short_description;
+};
+
+// ROADMAP contract: the allowlist may never grow past this many entries.
+// Enforced as a hard error by read_allowlist, not by review.
+inline constexpr std::size_t kAllowlistBudget = 10;
+
+// ---- source loading / stripping -------------------------------------------
+
+// Reads a file as lines (CRLF-tolerant). nullopt when unreadable.
+std::optional<std::vector<std::string>> read_lines(
+    const std::filesystem::path& p);
+
+// Returns the content with comments and string/char literal contents blanked
+// to spaces. Quote markers are kept so tokenizers still see a literal, and
+// raw strings R"delim(...)delim" are handled.
+std::vector<std::string> strip_source(const std::vector<std::string>& lines);
+
+// ---- token helpers ---------------------------------------------------------
+
+bool ident_char(char c);
+// Reads the identifier ending at (and including) position `end` (inclusive).
+std::string ident_ending_at(const std::string& s, std::size_t end);
+std::string ident_starting_at(const std::string& s, std::size_t begin);
+// Index of last non-space char at or before i, or npos.
+std::size_t skip_spaces_back(const std::string& s, std::size_t i);
+std::size_t skip_spaces_fwd(const std::string& s, std::size_t i);
+
+bool path_ends_with(const std::string& path, const std::string& suffix);
+bool path_contains(const std::string& path, const std::string& needle);
+
+// ---- input collection ------------------------------------------------------
+
+// Expands DIR-OR-FILE roots into a sorted list of C++ sources (.cpp .cc .hpp
+// .h). Prints an error and returns nullopt for a missing root.
+std::optional<std::vector<std::filesystem::path>> collect_inputs(
+    const std::vector<std::string>& roots, const char* tool);
+
+// ---- allowlist -------------------------------------------------------------
+
+// Parses "<rule> <path-suffix> <justification...>" lines ('#' comments and
+// blanks skipped). Sets ok=false on unreadable file, malformed entries, or a
+// budget overrun (> kAllowlistBudget entries) — the budget is a hard error
+// so the list cannot quietly rot upward.
+std::vector<AllowEntry> read_allowlist(const std::filesystem::path& p,
+                                       const char* tool, bool& ok);
+
+// Matching entry for a violation (rule equal, path-suffix match), or null.
+const AllowEntry* match_allowlist(const std::vector<AllowEntry>& allow,
+                                  const Violation& v);
+
+// ---- reporting -------------------------------------------------------------
+
+struct ReportOptions {
+  std::string tool;                    // e.g. "psml-lint"
+  std::string version = "1.0.0";
+  std::filesystem::path allowlist_path;  // empty when no allowlist given
+  std::filesystem::path sarif_path;      // empty disables SARIF output
+};
+
+// Prints unallowed violations, flags stale allowlist entries, writes SARIF
+// (suppressed findings included with suppression records, per 2.1.0), and
+// returns the process exit code (0 = clean).
+int report_and_finish(const ReportOptions& opts,
+                      const std::vector<RuleInfo>& rules,
+                      const std::vector<Violation>& violations,
+                      const std::vector<AllowEntry>& allow, bool allow_ok,
+                      std::size_t file_count);
+
+}  // namespace psml::lint

@@ -1,0 +1,126 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "lint_common.hpp"
+
+namespace psml::lint {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// SARIF artifact URIs must be URI-form: forward slashes, and relative paths
+// preferred so GitHub can map them onto the repo checkout.
+std::string to_uri(const std::string& path) {
+  std::string p = path;
+  for (char& c : p) {
+    if (c == '\\') c = '/';
+  }
+  // Strip a leading "./" — GitHub treats the URI as checkout-relative.
+  while (p.rfind("./", 0) == 0) p = p.substr(2);
+  return p;
+}
+
+}  // namespace
+
+bool write_sarif(const std::filesystem::path& out, const std::string& tool,
+                 const std::string& version,
+                 const std::vector<RuleInfo>& rules,
+                 const std::vector<Violation>& violations,
+                 const std::vector<bool>& suppressed) {
+  std::ofstream os(out, std::ios::binary);
+  if (!os) return false;
+
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    rule_index[rules[i].id] = i;
+  }
+
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"" << json_escape(tool) << "\",\n"
+     << "          \"version\": \"" << json_escape(version) << "\",\n"
+     << "          \"informationUri\": "
+        "\"https://github.com/parsecureml/parsecureml-repro/blob/main/docs/"
+        "ANALYSIS.md\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\n"
+       << "              \"id\": \"" << json_escape(rules[i].id) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << json_escape(rules[i].short_description) << "\" }\n"
+       << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(v.rule) << "\",\n";
+    const auto it = rule_index.find(v.rule);
+    if (it != rule_index.end()) {
+      os << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    os << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << json_escape(v.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(to_uri(v.file)) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << v.line << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]";
+    if (i < suppressed.size() && suppressed[i]) {
+      os << ",\n"
+         << "          \"suppressions\": [\n"
+         << "            { \"kind\": \"external\", \"justification\": "
+            "\"allowlist entry (see tools/*/allowlist.txt)\" }\n"
+         << "          ]";
+    }
+    os << "\n        }" << (i + 1 < violations.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace psml::lint

@@ -1,0 +1,31 @@
+// SARIF 2.1.0 emission for the project checkers, dependency-free.
+//
+// The output targets GitHub code-scanning upload (codeql-action/upload-sarif)
+// for inline PR annotations: one run per tool, rule metadata in
+// tool.driver.rules, one result per finding with a physicalLocation region.
+// Allowlisted findings are still emitted, but carry a suppression record
+// (kind "external") so code scanning shows them as suppressed instead of
+// open — the allowlist stays visible rather than becoming a silent hole.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace psml::lint {
+
+struct Violation;
+struct RuleInfo;
+
+// JSON string escaping (control chars, quotes, backslashes).
+std::string json_escape(const std::string& s);
+
+// Writes the SARIF log. `suppressed[i]` marks violations[i] as allowlisted.
+// Returns false when the file cannot be written.
+bool write_sarif(const std::filesystem::path& out, const std::string& tool,
+                 const std::string& version,
+                 const std::vector<RuleInfo>& rules,
+                 const std::vector<Violation>& violations,
+                 const std::vector<bool>& suppressed);
+
+}  // namespace psml::lint

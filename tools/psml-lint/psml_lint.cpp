@@ -7,7 +7,9 @@
 //                    outside src/mpc/ring.*. Share arithmetic must go through
 //                    ring_add/ring_sub/ring_matmul/truncate_share so that
 //                    wraparound semantics and truncation stay in one audited
-//                    place.
+//                    place. Tracks `using`/`typedef` aliases of MatrixU64 and
+//                    auto/auto& bindings to tracked variables, so renaming a
+//                    share type or taking a reference cannot dodge the rule.
 //   rng-outside-rng  No rand()/srand()/std::mt19937/std::random_device
 //                    outside src/rng/. Secret shares and masks must come from
 //                    the Philox/seeded generators in src/rng so randomness is
@@ -21,237 +23,174 @@
 //                    async_lane, sgpu/stream, src/net). Ad-hoc threads dodge
 //                    the shutdown/exception discipline those wrappers provide.
 //
-// Diagnostics are file:line with a rule tag. A violation can be suppressed by
+// Diagnostics are file:line with a rule tag, plus optional SARIF 2.1.0
+// (--sarif FILE) for CI annotation upload. A violation can be suppressed by
 // an allowlist entry ("<rule> <path-suffix> <justification>"); unused entries
-// are themselves an error so the allowlist cannot rot.
+// are themselves an error so the allowlist cannot rot, and the list is
+// hard-capped at lint::kAllowlistBudget entries.
 //
 // The checker is line/token-heuristic, not a real C++ parser: comments,
 // string literals (including raw strings), and char literals are stripped
-// before matching, and the ring rule tracks MatrixU64 declarations per file.
+// before matching (tools/lint-common). For flow-sensitive secret tracking see
+// the companion tool tools/psml-taint.
 
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <map>
-#include <optional>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint_common.hpp"
+
 namespace fs = std::filesystem;
+using psml::lint::AllowEntry;
+using psml::lint::ident_char;
+using psml::lint::ident_ending_at;
+using psml::lint::ident_starting_at;
+using psml::lint::path_contains;
+using psml::lint::path_ends_with;
+using psml::lint::RuleInfo;
+using psml::lint::skip_spaces_back;
+using psml::lint::skip_spaces_fwd;
+using psml::lint::Violation;
 
 namespace {
 
-struct Violation {
-  std::string file;  // generic (forward-slash) path as given on the cmdline
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct AllowEntry {
-  std::string rule;
-  std::string path_suffix;
-  std::string justification;
-  std::size_t line = 0;  // line in the allowlist file
-  mutable std::size_t uses = 0;
-};
-
-// ---- source stripping -------------------------------------------------------
-
-// Returns the file content with comments and string/char literal *contents*
-// replaced by spaces, preserving line breaks so line numbers stay valid.
-std::vector<std::string> strip_source(const std::vector<std::string>& lines) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  State st = State::kCode;
-  std::string raw_delim;  // for raw strings: the )delim" terminator
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-
-  for (const std::string& line : lines) {
-    std::string clean(line.size(), ' ');
-    if (st == State::kLineComment) st = State::kCode;  // // ends at newline
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (st) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            st = State::kLineComment;
-            ++i;
-          } else if (c == '/' && next == '*') {
-            st = State::kBlockComment;
-            ++i;
-          } else if (c == 'R' && next == '"' &&
-                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                     line[i - 1])) &&
-                                 line[i - 1] != '_'))) {
-            // Raw string literal R"delim( ... )delim"
-            std::size_t p = i + 2;
-            std::string delim;
-            while (p < line.size() && line[p] != '(') delim += line[p++];
-            raw_delim = ")" + delim + "\"";
-            st = State::kRaw;
-            clean[i] = '"';  // keep a marker so tokenizers see a literal
-            i = p;           // skip past the opening paren
-          } else if (c == '"') {
-            st = State::kString;
-            clean[i] = '"';
-          } else if (c == '\'') {
-            st = State::kChar;
-            clean[i] = '\'';
-          } else {
-            clean[i] = c;
-          }
-          break;
-        case State::kLineComment:
-          break;  // rest of line is comment
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            st = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            st = State::kCode;
-            clean[i] = '"';
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            st = State::kCode;
-            clean[i] = '\'';
-          }
-          break;
-        case State::kRaw: {
-          if (line.compare(i, raw_delim.size(), raw_delim) == 0) {
-            i += raw_delim.size() - 1;
-            clean[i] = '"';
-            st = State::kCode;
-          }
-          break;
-        }
-      }
-    }
-    out.push_back(std::move(clean));
-  }
-  return out;
-}
-
-// ---- small token helpers ----------------------------------------------------
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Reads the identifier ending at (and including) position `end` (inclusive).
-std::string ident_ending_at(const std::string& s, std::size_t end) {
-  std::size_t b = end;
-  while (b > 0 && ident_char(s[b - 1])) --b;
-  if (!ident_char(s[end])) return {};
-  return s.substr(b, end - b + 1);
-}
-
-std::string ident_starting_at(const std::string& s, std::size_t begin) {
-  std::size_t e = begin;
-  while (e < s.size() && ident_char(s[e])) ++e;
-  return s.substr(begin, e - begin);
-}
-
-std::size_t skip_spaces_back(const std::string& s, std::size_t i) {
-  // Returns index of last non-space char at or before i, or npos.
-  while (i != std::string::npos && i < s.size() &&
-         std::isspace(static_cast<unsigned char>(s[i]))) {
-    if (i == 0) return std::string::npos;
-    --i;
-  }
-  return i;
-}
-
-std::size_t skip_spaces_fwd(const std::string& s, std::size_t i) {
-  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
-  return i;
-}
-
-bool path_ends_with(const std::string& path, const std::string& suffix) {
-  return path.size() >= suffix.size() &&
-         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool path_contains(const std::string& path, const std::string& needle) {
-  return path.find(needle) != std::string::npos;
-}
-
 // ---- rule: ring-raw-arith ---------------------------------------------------
 
-// Collects names declared with type MatrixU64 in this file (parameters and
-// locals; comma-chained declarators included). Function names that *return*
-// MatrixU64 also land in the registry, which is harmless: a name directly
-// followed by '(' is never treated as an operand.
-std::set<std::string> collect_ring_vars(const std::vector<std::string>& lines) {
+// Collects the set of type names that denote MatrixU64 in this file:
+// MatrixU64 itself plus every `using X = MatrixU64;` / `typedef MatrixU64 X;`
+// chain (aliases of aliases included, iterated to fixpoint).
+std::set<std::string> collect_ring_types(const std::vector<std::string>& lines) {
+  std::set<std::string> types{"MatrixU64"};
+  static const std::regex using_re(
+      R"(\busing\s+(\w+)\s*=\s*(?:psml::)?(?:tensor::)?(\w+)\s*;)");
+  static const std::regex typedef_re(
+      R"(\btypedef\s+(?:psml::)?(?:tensor::)?(\w+)\s+(\w+)\s*;)");
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const std::string& line : lines) {
+      std::smatch m;
+      if (std::regex_search(line, m, using_re) && types.count(m[2].str())) {
+        grew |= types.insert(m[1].str()).second;
+      }
+      if (std::regex_search(line, m, typedef_re) && types.count(m[1].str())) {
+        grew |= types.insert(m[2].str()).second;
+      }
+    }
+  }
+  return types;
+}
+
+// Collects names declared with a ring type in this file (parameters and
+// locals; comma-chained declarators included), plus auto/auto& bindings to
+// already-tracked names (reference bindings would otherwise escape the
+// rule). Function names that *return* a ring type also land in the registry,
+// which is harmless: a name directly followed by '(' is never treated as an
+// operand.
+std::set<std::string> collect_ring_vars(const std::vector<std::string>& lines,
+                                        const std::set<std::string>& types) {
   std::set<std::string> vars;
   for (const std::string& line : lines) {
-    std::size_t pos = 0;
-    while ((pos = line.find("MatrixU64", pos)) != std::string::npos) {
-      // Reject identifiers that merely contain the token (e.g. MatrixU64Ptr).
-      const std::size_t after = pos + 9;
-      if ((pos > 0 && ident_char(line[pos - 1])) ||
-          (after < line.size() && ident_char(line[after]))) {
-        pos = after;
-        continue;
-      }
-      std::size_t i = skip_spaces_fwd(line, after);
-      while (i < line.size() && (line[i] == '&' || line[i] == '*')) ++i;
-      i = skip_spaces_fwd(line, i);
-      for (;;) {
-        const std::string name = ident_starting_at(line, i);
-        if (name.empty()) break;
-        vars.insert(name);
-        i += name.size();
-        i = skip_spaces_fwd(line, i);
-        // Skip an initializer / constructor-call to find a chained declarator.
-        if (i < line.size() && line[i] == '(') {
-          int depth = 0;
-          while (i < line.size()) {
-            if (line[i] == '(') ++depth;
-            if (line[i] == ')' && --depth == 0) {
-              ++i;
-              break;
-            }
-            ++i;
-          }
-          i = skip_spaces_fwd(line, i);
-        } else if (i < line.size() && line[i] == '=') {
-          while (i < line.size() && line[i] != ',' && line[i] != ';') ++i;
-        }
-        if (i < line.size() && line[i] == ',') {
-          i = skip_spaces_fwd(line, i + 1);
-          // Step over cv-qualifiers in parameter lists.
-          while (true) {
-            const std::string word = ident_starting_at(line, i);
-            if (word == "const" || word == "volatile") {
-              i = skip_spaces_fwd(line, i + word.size());
-            } else {
-              break;
-            }
-          }
+    for (const std::string& type : types) {
+      std::size_t pos = 0;
+      while ((pos = line.find(type, pos)) != std::string::npos) {
+        // Reject identifiers that merely contain the token (e.g.
+        // MatrixU64Ptr).
+        const std::size_t after = pos + type.size();
+        if ((pos > 0 && ident_char(line[pos - 1])) ||
+            (after < line.size() && ident_char(line[after]))) {
+          pos = after;
           continue;
         }
-        break;
+        std::size_t i = skip_spaces_fwd(line, after);
+        // `using X = MatrixU64;` — the name *left* of '=' is an alias (in
+        // the type registry), not a variable.
+        if (i < line.size() && (line[i] == '=' || line[i] == ';')) {
+          pos = after;
+          continue;
+        }
+        while (i < line.size() && (line[i] == '&' || line[i] == '*')) ++i;
+        i = skip_spaces_fwd(line, i);
+        for (;;) {
+          const std::string name = ident_starting_at(line, i);
+          if (name.empty()) break;
+          vars.insert(name);
+          i += name.size();
+          i = skip_spaces_fwd(line, i);
+          // Skip an initializer / constructor-call to find a chained
+          // declarator.
+          if (i < line.size() && line[i] == '(') {
+            int depth = 0;
+            while (i < line.size()) {
+              if (line[i] == '(') ++depth;
+              if (line[i] == ')' && --depth == 0) {
+                ++i;
+                break;
+              }
+              ++i;
+            }
+            i = skip_spaces_fwd(line, i);
+          } else if (i < line.size() && line[i] == '=') {
+            while (i < line.size() && line[i] != ',' && line[i] != ';') ++i;
+          }
+          if (i < line.size() && line[i] == ',') {
+            i = skip_spaces_fwd(line, i + 1);
+            // Step over cv-qualifiers.
+            while (true) {
+              const std::string word = ident_starting_at(line, i);
+              if (word == "const" || word == "volatile") {
+                i = skip_spaces_fwd(line, i + word.size());
+              } else {
+                break;
+              }
+            }
+            // Only a chained *declarator* continues the walk. In a parameter
+            // list the comma introduces a fresh type (`MatrixU64& out,
+            // std::uint64_t seed`), recognizable by a second identifier or a
+            // '::' after the first one — stop there.
+            const std::string peek = ident_starting_at(line, i);
+            const std::size_t after_peek =
+                skip_spaces_fwd(line, i + peek.size());
+            if (!peek.empty() && after_peek < line.size() &&
+                (ident_char(line[after_peek]) || line[after_peek] == ':' ||
+                 line[after_peek] == '&' || line[after_peek] == '*')) {
+              break;
+            }
+            continue;
+          }
+          break;
+        }
+        pos = after;
       }
-      pos = after;
     }
   }
   vars.erase("const");
   vars.erase("volatile");
+
+  // auto / auto& / const auto& bindings whose initializer is exactly a
+  // tracked variable adopt its ring-ness (`auto body = m.serialize();` must
+  // NOT — the serialized bytes are not a ring matrix, so the initializer has
+  // to be the bare name). Fixpoint so chains of bindings (auto& a = m;
+  // auto& b = a;) are all caught.
+  static const std::regex auto_bind(
+      R"(\bauto\s*(?:const\s*)?[&]?\s*(\w+)\s*=\s*(\w+)\s*;)");
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const std::string& line : lines) {
+      auto begin = std::sregex_iterator(line.begin(), line.end(), auto_bind);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        if (vars.count((*it)[2].str())) {
+          grew |= vars.insert((*it)[1].str()).second;
+        }
+      }
+    }
+  }
   return vars;
 }
 
@@ -329,7 +268,8 @@ void check_ring_arith(const std::string& path,
       path_ends_with(path, "mpc/ring.hpp")) {
     return;  // the one audited home of raw ring-word arithmetic
   }
-  const std::set<std::string> vars = collect_ring_vars(clean);
+  const std::set<std::string> types = collect_ring_types(clean);
+  const std::set<std::string> vars = collect_ring_vars(clean, types);
   if (vars.empty()) return;
 
   for (std::size_t ln = 0; ln < clean.size(); ++ln) {
@@ -448,59 +388,26 @@ void check_naked_thread(const std::string& path,
   }
 }
 
-// ---- driver -----------------------------------------------------------------
-
-std::optional<std::vector<std::string>> read_lines(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(std::move(line));
-  }
-  return lines;
-}
-
-std::vector<AllowEntry> read_allowlist(const fs::path& p, bool& ok) {
-  std::vector<AllowEntry> entries;
-  ok = true;
-  auto lines = read_lines(p);
-  if (!lines) {
-    std::fprintf(stderr, "psml-lint: cannot read allowlist %s\n",
-                 p.string().c_str());
-    ok = false;
-    return entries;
-  }
-  for (std::size_t i = 0; i < lines->size(); ++i) {
-    const std::string& raw = (*lines)[i];
-    const std::size_t b = raw.find_first_not_of(" \t");
-    if (b == std::string::npos || raw[b] == '#') continue;
-    std::istringstream iss(raw);
-    AllowEntry e;
-    e.line = i + 1;
-    iss >> e.rule >> e.path_suffix;
-    std::getline(iss, e.justification);
-    const std::size_t jb = e.justification.find_first_not_of(" \t—-");
-    e.justification =
-        jb == std::string::npos ? "" : e.justification.substr(jb);
-    if (e.rule.empty() || e.path_suffix.empty() || e.justification.empty()) {
-      std::fprintf(stderr,
-                   "psml-lint: allowlist %s:%zu: need '<rule> <path-suffix> "
-                   "<justification>'\n",
-                   p.string().c_str(), i + 1);
-      ok = false;
-      continue;
-    }
-    entries.push_back(std::move(e));
-  }
-  return entries;
-}
+const std::vector<RuleInfo> kRules = {
+    {"ring-raw-arith",
+     "Raw +/-/* on ring share words outside src/mpc/ring.* — use the audited "
+     "ring ops"},
+    {"rng-outside-rng",
+     "Raw C/std randomness outside src/rng/ — use the seeded psml::rng "
+     "facade"},
+    {"secret-logging",
+     "Log/print references share/triplet/mask/seed material in a secure code "
+     "path"},
+    {"naked-thread",
+     "Raw thread construction outside the owned concurrency primitives"},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  psml::lint::ReportOptions ropts;
+  ropts.tool = "psml-lint";
   fs::path allowlist_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -510,8 +417,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       allowlist_path = argv[++i];
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psml-lint: --sarif needs a file\n");
+        return 2;
+      }
+      ropts.sarif_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: psml-lint [--allowlist FILE] DIR-OR-FILE...\n");
+      std::printf(
+          "usage: psml-lint [--allowlist FILE] [--sarif FILE] "
+          "DIR-OR-FILE...\n");
       return 0;
     } else {
       roots.push_back(arg);
@@ -524,37 +439,22 @@ int main(int argc, char** argv) {
 
   bool allow_ok = true;
   std::vector<AllowEntry> allow;
-  if (!allowlist_path.empty()) allow = read_allowlist(allowlist_path, allow_ok);
-
-  std::vector<fs::path> files;
-  for (const std::string& r : roots) {
-    fs::path root(r);
-    if (fs::is_regular_file(root)) {
-      files.push_back(root);
-      continue;
-    }
-    if (!fs::is_directory(root)) {
-      std::fprintf(stderr, "psml-lint: no such input: %s\n", r.c_str());
-      return 2;
-    }
-    for (const auto& ent : fs::recursive_directory_iterator(root)) {
-      if (!ent.is_regular_file()) continue;
-      const std::string ext = ent.path().extension().string();
-      if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h") {
-        files.push_back(ent.path());
-      }
-    }
+  if (!allowlist_path.empty()) {
+    allow = psml::lint::read_allowlist(allowlist_path, "psml-lint", allow_ok);
+    ropts.allowlist_path = allowlist_path;
   }
-  std::sort(files.begin(), files.end());
+
+  const auto files = psml::lint::collect_inputs(roots, "psml-lint");
+  if (!files) return 2;
 
   std::vector<Violation> violations;
-  for (const fs::path& f : files) {
-    auto lines = read_lines(f);
+  for (const fs::path& f : *files) {
+    auto lines = psml::lint::read_lines(f);
     if (!lines) {
       std::fprintf(stderr, "psml-lint: cannot read %s\n", f.string().c_str());
       return 2;
     }
-    const std::vector<std::string> clean = strip_source(*lines);
+    const std::vector<std::string> clean = psml::lint::strip_source(*lines);
     const std::string path = f.generic_string();
     check_ring_arith(path, clean, violations);
     check_rng(path, clean, violations);
@@ -562,38 +462,6 @@ int main(int argc, char** argv) {
     check_naked_thread(path, clean, violations);
   }
 
-  std::size_t reported = 0, suppressed = 0;
-  for (const Violation& v : violations) {
-    const AllowEntry* match = nullptr;
-    for (const AllowEntry& e : allow) {
-      if (e.rule == v.rule && path_ends_with(v.file, e.path_suffix)) {
-        match = &e;
-        break;
-      }
-    }
-    if (match) {
-      ++match->uses;
-      ++suppressed;
-      continue;
-    }
-    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
-                v.message.c_str());
-    ++reported;
-  }
-
-  bool stale = false;
-  for (const AllowEntry& e : allow) {
-    if (e.uses == 0) {
-      std::fprintf(stderr,
-                   "psml-lint: stale allowlist entry at %s:%zu (%s %s) — "
-                   "matched nothing, remove it\n",
-                   allowlist_path.string().c_str(), e.line, e.rule.c_str(),
-                   e.path_suffix.c_str());
-      stale = true;
-    }
-  }
-
-  std::printf("psml-lint: %zu file(s), %zu violation(s), %zu allowlisted\n",
-              files.size(), reported, suppressed);
-  return (reported == 0 && !stale && allow_ok) ? 0 : 1;
+  return psml::lint::report_and_finish(ropts, kRules, violations, allow,
+                                       allow_ok, files->size());
 }
