@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Used by the transport layer to checksum frame headers and payloads so a
+// corrupt or truncated stream is detected as a typed NetworkError instead of
+// being delivered to the protocol. Not cryptographic — it protects against
+// accidental corruption, not an adversary (the MPC threat model already
+// assumes semi-honest parties on the wire).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace psml {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+// One-shot / chainable CRC-32. Pass a previous result as `seed` to extend a
+// checksum over discontiguous buffers.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace psml

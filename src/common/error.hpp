@@ -27,6 +27,15 @@ class NetworkError : public Error {
   explicit NetworkError(const std::string& what) : Error(what) {}
 };
 
+// A receive (or accept/connect) deadline expired before the peer delivered.
+// Subclass of NetworkError so existing transport-failure handlers catch it;
+// callers that want to distinguish "slow peer" from "dead peer" catch this
+// first.
+class TimeoutError : public NetworkError {
+ public:
+  explicit TimeoutError(const std::string& what) : NetworkError(what) {}
+};
+
 // Protocol-level failure in the 2PC state machine (unexpected tag,
 // inconsistent shares, corrupt compressed payload).
 class ProtocolError : public Error {

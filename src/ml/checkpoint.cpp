@@ -5,6 +5,8 @@
 #include <istream>
 #include <ostream>
 
+#include "ml/secure/secure_model.hpp"
+
 namespace psml::ml {
 
 namespace {
@@ -150,6 +152,31 @@ void load_from_path(const std::string& path, Model& model) {
 
 void save_model(const std::string& path, Sequential& model) {
   save_to_path(path, model);
+}
+
+namespace {
+constexpr std::uint32_t kShareMagic = 0x50535353;  // "PSSS"
+}  // namespace
+
+void save_share_snapshot(std::ostream& os, SecureSequential& model) {
+  const std::vector<MatrixF*> state = model.collect_state();
+  write_u32(os, kShareMagic);
+  write_u32(os, kVersion);
+  write_u32(os, static_cast<std::uint32_t>(state.size()));
+  for (const MatrixF* m : state) write_matrix(os, *m);
+}
+
+void load_share_snapshot(std::istream& is, SecureSequential& model) {
+  if (read_u32(is) != kShareMagic) {
+    throw InvalidArgument("share snapshot: bad magic");
+  }
+  if (read_u32(is) != kVersion) {
+    throw InvalidArgument("share snapshot: unsupported version");
+  }
+  std::vector<MatrixF*> state = model.collect_state();
+  const std::uint32_t count = read_u32(is);
+  PSML_REQUIRE(count == state.size(), "share snapshot: state count mismatch");
+  for (MatrixF* m : state) read_matrix_into(is, *m, "share snapshot matrix");
 }
 void save_model(const std::string& path, const RnnModel& model) {
   save_to_path(path, model);

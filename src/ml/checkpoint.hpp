@@ -29,4 +29,14 @@ void load_model(std::istream& is, Sequential& model);
 void save_model(std::ostream& os, const RnnModel& model);
 void load_model(std::istream& is, RnnModel& model);
 
+class SecureSequential;
+
+// Share snapshot: serializes one server's *parameter shares* without any
+// reconstruction or communication — purely local, so it is safe to take
+// even while the peer is unreachable. Used by the fault-tolerant training
+// loop to roll a model back to the start of a failed step before retrying.
+// load throws InvalidArgument on any shape/count mismatch.
+void save_share_snapshot(std::ostream& os, SecureSequential& model);
+void load_share_snapshot(std::istream& is, SecureSequential& model);
+
 }  // namespace psml::ml

@@ -1,0 +1,60 @@
+// Fault-tolerant secure training step — graceful degradation under
+// transport failures.
+//
+// secure_train_batch_resilient wraps one secure SGD step in a retry loop:
+// before each attempt it snapshots the model's parameter shares (a purely
+// local operation — no reconstruction, no communication) and marks the
+// triplet-store cursors. When the step dies with a TimeoutError or
+// NetworkError it rolls both back, re-synchronizes the per-op sequence
+// counter with the peer, waits out an exponential backoff, and retries.
+// Both servers run the identical loop (SPMD), so a failure observed by
+// either side is observed by both — the peer's recv of the failed step
+// times out or errors too, and both roll back to the same point.
+//
+// Requirements:
+//   * The triplet store must be in retain or recycle mode (consuming pops
+//     destroy material and cannot be rewound) — see TripletStore.
+//   * The channel should carry a receive timeout (policy.recv_timeout or
+//     the channel default); with no timeout a dead-but-not-closed peer
+//     blocks forever and the retry loop never gets control.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "ml/secure/secure_model.hpp"
+
+namespace psml::ml {
+
+struct RetryPolicy {
+  // Total tries including the first; the final failure is rethrown.
+  int max_attempts = 3;
+  // Exponential backoff between attempts with deterministic jitter in
+  // [0.5, 1.0) x the nominal delay, seeded so test runs are reproducible.
+  double backoff_base_ms = 5.0;
+  double backoff_max_ms = 500.0;
+  std::uint64_t jitter_seed = 1;
+  // When positive, installed as the channel's default receive timeout for
+  // the duration of the call (restored on exit). Zero keeps the channel's
+  // existing default.
+  std::chrono::milliseconds recv_timeout{0};
+};
+
+struct ResilientStats {
+  int attempts = 0;   // tries made, successful one included
+  int rollbacks = 0;  // snapshot restores performed
+  bool completed = false;
+};
+
+// Runs one secure training step under `policy`. Returns once the step
+// completed; rethrows the last transport error when max_attempts are
+// exhausted (model shares are left rolled back to the pre-step snapshot,
+// so the caller can continue with a coarser recovery). Non-transport
+// exceptions propagate immediately.
+ResilientStats secure_train_batch_resilient(SecureEnv& env,
+                                            SecureSequential& model,
+                                            LossKind loss, const MatrixF& x_i,
+                                            const MatrixF& y_i, float lr,
+                                            const RetryPolicy& policy = {});
+
+}  // namespace psml::ml

@@ -51,6 +51,13 @@ class SecureLayer {
   virtual void set_layer_id(std::uint32_t id) { layer_id_ = id; }
   std::uint32_t layer_id() const { return layer_id_; }
 
+  // Appends pointers to this layer's persistent parameter shares (the state
+  // an SGD update mutates), in a deterministic order shared by both
+  // servers. Used by the checkpoint share-snapshot machinery to roll a
+  // model back to the start of a failed training step. Stateless layers
+  // contribute nothing.
+  virtual void collect_state(std::vector<MatrixF*>& out) {}
+
  protected:
   std::uint32_t layer_id_ = 0;
 };
@@ -69,6 +76,11 @@ class SecureDense : public SecureLayer {
 
   const MatrixF& weight_share() const { return w_; }
   const MatrixF& bias_share() const { return b_; }
+
+  void collect_state(std::vector<MatrixF*>& out) override {
+    out.push_back(&w_);
+    out.push_back(&b_);
+  }
 
  private:
   MatrixF w_;   // share of W, in x out
@@ -116,6 +128,10 @@ class SecureConv2D : public SecureLayer {
 
   const tensor::ConvShape& shape() const { return shape_; }
   const MatrixF& weight_share() const { return w_; }
+
+  void collect_state(std::vector<MatrixF*>& out) override {
+    out.push_back(&w_);
+  }
 
  private:
   tensor::ConvShape shape_;

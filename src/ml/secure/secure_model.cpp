@@ -39,6 +39,12 @@ void SecureSequential::update(float lr) {
   for (auto& l : layers_) l->update(lr);
 }
 
+std::vector<MatrixF*> SecureSequential::collect_state() {
+  std::vector<MatrixF*> out;
+  for (auto& l : layers_) l->collect_state(out);
+  return out;
+}
+
 MatrixF secure_loss_grad(SecureEnv& env, LossKind loss, const MatrixF& pred_i,
                          const MatrixF& y_i) {
   auto& ctx = *env.ctx;

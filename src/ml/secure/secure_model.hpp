@@ -29,6 +29,10 @@ class SecureSequential {
   MatrixF backward(SecureEnv& env, const MatrixF& dy_i);
   void update(float lr);
 
+  // Pointers to every layer's persistent parameter shares, in model order.
+  // The share-snapshot checkpoint functions serialize exactly this list.
+  std::vector<MatrixF*> collect_state();
+
  private:
   std::vector<std::unique_ptr<SecureLayer>> layers_;
 };

@@ -28,6 +28,10 @@ class SecureResidualBlock : public SecureLayer {
   // keys stay unique.
   void set_layer_id(std::uint32_t id) override;
 
+  void collect_state(std::vector<MatrixF*>& out) override {
+    for (auto& layer : inner_) layer->collect_state(out);
+  }
+
  private:
   std::vector<std::unique_ptr<SecureLayer>> inner_;
   std::size_t width_;

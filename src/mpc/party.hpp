@@ -74,6 +74,15 @@ class PartyContext {
   // sequence (SPMD), so their counters agree and form matching tags/keys.
   std::uint32_t next_seq() { return seq_++; }
 
+  // Fault-recovery support: after an aborted step the two servers'
+  // counters can diverge (one consumed more ops before failing). peek_seq
+  // exposes the current value and resync_seq jumps the counter forward to
+  // the exchanged maximum, so a retried step draws fresh tags that cannot
+  // collide with any in-flight stale message (every stale tag is below the
+  // maximum). Never moves the counter backwards.
+  std::uint32_t peek_seq() const { return seq_; }
+  void resync_seq(std::uint32_t seq) { seq_ = std::max(seq_, seq); }
+
   // Compression stream salt, set by the training loop to the batch index so
   // each (layer, operand, batch-slot) keeps its own delta baseline across
   // epochs. Both servers set it identically.

@@ -24,12 +24,38 @@ void TripletStore::set_recycle(bool recycle) {
   act_cursor_ = 0;
 }
 
+void TripletStore::set_retain(bool retain) {
+  retain_ = retain;
+  matmul_cursor_ = 0;
+  elem_cursor_ = 0;
+  act_cursor_ = 0;
+}
+
+TripletStore::Mark TripletStore::mark() const {
+  PSML_CHECK_MSG(retain_ || recycle_,
+                 "TripletStore::mark needs retain or recycle mode");
+  return Mark{matmul_cursor_, elem_cursor_, act_cursor_};
+}
+
+void TripletStore::rewind(const Mark& mark) {
+  PSML_CHECK_MSG(retain_ || recycle_,
+                 "TripletStore::rewind needs retain or recycle mode");
+  matmul_cursor_ = mark.matmul;
+  elem_cursor_ = mark.elem;
+  act_cursor_ = mark.act;
+}
+
 TripletShare TripletStore::pop_matmul() {
   PSML_CHECK_MSG(!matmul_.empty(), "offline matmul triplets exhausted");
   if (recycle_) {
     TripletShare t = matmul_[matmul_cursor_];
     matmul_cursor_ = (matmul_cursor_ + 1) % matmul_.size();
     return t;
+  }
+  if (retain_) {
+    PSML_CHECK_MSG(matmul_cursor_ < matmul_.size(),
+                   "offline matmul triplets exhausted");
+    return matmul_[matmul_cursor_++];
   }
   TripletShare t = std::move(matmul_.front());
   matmul_.pop_front();
@@ -43,6 +69,11 @@ TripletShare TripletStore::pop_elementwise() {
     elem_cursor_ = (elem_cursor_ + 1) % elem_.size();
     return t;
   }
+  if (retain_) {
+    PSML_CHECK_MSG(elem_cursor_ < elem_.size(),
+                   "offline elementwise triplets exhausted");
+    return elem_[elem_cursor_++];
+  }
   TripletShare t = std::move(elem_.front());
   elem_.pop_front();
   return t;
@@ -54,6 +85,11 @@ ActivationShare TripletStore::pop_activation() {
     ActivationShare a = act_[act_cursor_];
     act_cursor_ = (act_cursor_ + 1) % act_.size();
     return a;
+  }
+  if (retain_) {
+    PSML_CHECK_MSG(act_cursor_ < act_.size(),
+                   "offline activation material exhausted");
+    return act_[act_cursor_++];
   }
   ActivationShare a = std::move(act_.front());
   act_.pop_front();

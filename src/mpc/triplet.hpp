@@ -69,6 +69,22 @@ class PSML_SECRET TripletStore {
   void set_recycle(bool recycle);
   bool recycle() const { return recycle_; }
 
+  // Retain mode: pops advance cursors without consuming (no wrap-around, a
+  // pop past the end still fails), which is what makes mark()/rewind()
+  // possible — the fault-tolerant training loop rewinds to the step's mark
+  // before retrying so both parties re-consume identical triplets. Switch
+  // modes only before the first pop.
+  void set_retain(bool retain);
+  bool retain() const { return retain_; }
+
+  // Cursor snapshot for step-level rollback. Requires retain or recycle
+  // mode (consuming pops destroy the material and cannot be rewound).
+  struct Mark {
+    std::size_t matmul = 0, elem = 0, act = 0;
+  };
+  Mark mark() const;
+  void rewind(const Mark& mark);
+
   TripletShare pop_matmul();
   TripletShare pop_elementwise();
   ActivationShare pop_activation();
@@ -91,6 +107,7 @@ class PSML_SECRET TripletStore {
   std::deque<TripletShare> elem_;
   std::deque<ActivationShare> act_;
   bool recycle_ = false;
+  bool retain_ = false;
   std::size_t matmul_cursor_ = 0;
   std::size_t elem_cursor_ = 0;
   std::size_t act_cursor_ = 0;

@@ -3,8 +3,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
+
+#include "common/env.hpp"
 
 namespace psml::net {
+
+Channel::Channel()
+    : default_timeout_ms_(static_cast<long long>(
+          env_size_t("PSML_NET_TIMEOUT_MS", 0))) {}
 
 void Channel::send(Tag tag, std::span<const std::uint8_t> payload) {
   Message m;
@@ -29,9 +36,18 @@ bool take_by_tag(std::vector<Message>& pending, Tag tag, Message& out) {
   return false;
 }
 
+[[noreturn]] void throw_recv_timeout(Tag tag) {
+  throw TimeoutError("Channel: recv(tag=" + std::to_string(tag) +
+                     ") deadline expired");
+}
+
 }  // namespace
 
-Message Channel::recv(Tag tag) {
+Message Channel::recv(Tag tag) { return recv(tag, deadline_after(default_timeout())); }
+
+Message Channel::recv_any() { return recv_any(deadline_after(default_timeout())); }
+
+Message Channel::recv(Tag tag, Deadline deadline) {
   std::unique_lock<std::mutex> lock(recv_mutex_);
   for (;;) {
     Message m;
@@ -39,7 +55,13 @@ Message Channel::recv(Tag tag) {
     if (drainer_active_) {
       // Someone else is reading the transport; wait for the buffer to
       // change or the drainer role to free up.
-      recv_cv_.wait(lock);
+      if (deadline == kNoDeadline) {
+        recv_cv_.wait(lock);
+      } else if (recv_cv_.wait_until(lock, deadline) ==
+                 std::cv_status::timeout) {
+        if (take_by_tag(pending_, tag, m)) return m;
+        throw_recv_timeout(tag);
+      }
       continue;
     }
     // Become the drainer. The lock is dropped while blocked on the
@@ -48,12 +70,13 @@ Message Channel::recv(Tag tag) {
     lock.unlock();
     Message incoming;
     try {
-      incoming = recv_impl();
+      incoming = recv_impl(deadline);
     } catch (...) {
       lock.lock();
       drainer_active_ = false;
       // Wake everyone: one of them becomes the next drainer and observes
-      // the transport error itself.
+      // the transport state (error or, after our TimeoutError, more data)
+      // itself.
       recv_cv_.notify_all();
       throw;
     }
@@ -70,7 +93,7 @@ Message Channel::recv(Tag tag) {
   }
 }
 
-Message Channel::recv_any() {
+Message Channel::recv_any(Deadline deadline) {
   std::unique_lock<std::mutex> lock(recv_mutex_);
   for (;;) {
     if (!pending_.empty()) {
@@ -79,14 +102,24 @@ Message Channel::recv_any() {
       return m;
     }
     if (drainer_active_) {
-      recv_cv_.wait(lock);
+      if (deadline == kNoDeadline) {
+        recv_cv_.wait(lock);
+      } else if (recv_cv_.wait_until(lock, deadline) ==
+                 std::cv_status::timeout) {
+        if (!pending_.empty()) {
+          Message m = std::move(pending_.front());
+          pending_.erase(pending_.begin());
+          return m;
+        }
+        throw TimeoutError("Channel: recv_any deadline expired");
+      }
       continue;
     }
     drainer_active_ = true;
     lock.unlock();
     Message incoming;
     try {
-      incoming = recv_impl();
+      incoming = recv_impl(deadline);
     } catch (...) {
       lock.lock();
       drainer_active_ = false;

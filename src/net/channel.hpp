@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <cstdint>
@@ -25,6 +26,17 @@ namespace psml::net {
 // Message tags; the high bits identify the protocol step, low bits carry a
 // sequence component where needed.
 using Tag = std::uint32_t;
+
+// Receive deadlines are absolute steady-clock points; kNoDeadline means
+// "block forever" (the pre-fault-tolerance behaviour).
+using Clock = std::chrono::steady_clock;
+using Deadline = Clock::time_point;
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+// Deadline `timeout` from now; non-positive timeouts mean no deadline.
+inline Deadline deadline_after(std::chrono::milliseconds timeout) {
+  return timeout.count() > 0 ? Clock::now() + timeout : kNoDeadline;
+}
 
 struct Message {
   Tag tag = 0;
@@ -47,6 +59,7 @@ struct TrafficStats {
 
 class Channel {
  public:
+  Channel();  // seeds the default timeout from PSML_NET_TIMEOUT_MS
   virtual ~Channel() = default;
 
   // Sends one tagged message. Thread-safe against concurrent send() calls.
@@ -64,10 +77,32 @@ class Channel {
   // drain would deadlock the double pipeline: each party's main thread can
   // end up waiting for a message whose sender is the peer's *other* thread,
   // blocked behind the peer's held lock — a 4-thread cross-party cycle.
+  //
+  // Deadline contract: the no-deadline overloads use the channel's default
+  // timeout (none unless set_default_timeout() or PSML_NET_TIMEOUT_MS says
+  // otherwise). When the deadline expires before the wanted message arrives
+  // — whether this thread was draining the transport or waiting on the
+  // reorder buffer — recv throws TimeoutError. A timeout is not fatal to the
+  // channel: already-buffered and future messages remain receivable, and the
+  // drainer role is handed to the next waiter.
   Message recv(Tag tag);
+  Message recv(Tag tag, Deadline deadline);
 
-  // Blocking receive of the next message regardless of tag.
+  // Blocking receive of the next message regardless of tag. Messages already
+  // buffered by tag-selective recv() calls are returned first, in arrival
+  // order, before the transport is read again.
   Message recv_any();
+  Message recv_any(Deadline deadline);
+
+  // Default timeout applied by the no-deadline recv overloads; zero (the
+  // initial value, overridable via PSML_NET_TIMEOUT_MS) disables it.
+  void set_default_timeout(std::chrono::milliseconds timeout) {
+    default_timeout_ms_.store(timeout.count(), std::memory_order_relaxed);
+  }
+  std::chrono::milliseconds default_timeout() const {
+    return std::chrono::milliseconds(
+        default_timeout_ms_.load(std::memory_order_relaxed));
+  }
 
   // Closes the transport; pending and future recv() calls throw NetworkError.
   virtual void close() = 0;
@@ -84,8 +119,10 @@ class Channel {
   // Backend hooks.
   virtual void send_impl(Message&& m) = 0;
   // Returns the next message in arrival order; throws NetworkError when the
-  // peer is gone.
-  virtual Message recv_impl() = 0;
+  // peer is gone and TimeoutError when `deadline` expires first. A timeout
+  // must leave the backend usable: a later recv_impl() call picks up exactly
+  // where the timed-out one stopped (no bytes lost or re-delivered).
+  virtual Message recv_impl(Deadline deadline) = 0;
 
   TrafficStats stats_;
 
@@ -99,6 +136,7 @@ class Channel {
   std::condition_variable recv_cv_;
   std::mutex recv_mutex_;
   std::mutex send_mutex_;
+  std::atomic<long long> default_timeout_ms_;
 };
 
 // A matched pair of channel endpoints (A talks to B).

@@ -1,0 +1,257 @@
+#include "net/fault_inject.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/crc32.hpp"
+
+namespace psml::net {
+
+namespace {
+
+constexpr std::size_t kMiniFrameBytes = 12;  // u64 seq + u32 crc
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\n");
+  return s.substr(b, e - b + 1);
+}
+
+const char* kind_name(FaultAction::Kind k) {
+  switch (k) {
+    case FaultAction::Kind::kDelay: return "delay";
+    case FaultAction::Kind::kDrop: return "drop";
+    case FaultAction::Kind::kClose: return "close";
+    case FaultAction::Kind::kFlip: return "flip";
+    case FaultAction::Kind::kTruncate: return "trunc";
+    case FaultAction::Kind::kDuplicate: return "dup";
+    case FaultAction::Kind::kPartition: return "part";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string token =
+        trim(spec.substr(pos, semi == std::string::npos ? std::string::npos
+                                                        : semi - pos));
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (token.empty()) continue;
+
+    const std::size_t at = token.find('@');
+    PSML_REQUIRE(at != std::string::npos,
+                 "fault plan token '" + token + "' lacks '@index'");
+    const std::string kind = trim(token.substr(0, at));
+    std::string rest = trim(token.substr(at + 1));
+    std::string arg_str;
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      arg_str = trim(rest.substr(colon + 1));
+      rest = trim(rest.substr(0, colon));
+    }
+
+    FaultAction a;
+    if (kind == "delay") {
+      a.kind = FaultAction::Kind::kDelay;
+    } else if (kind == "drop") {
+      a.kind = FaultAction::Kind::kDrop;
+    } else if (kind == "close") {
+      a.kind = FaultAction::Kind::kClose;
+    } else if (kind == "flip") {
+      a.kind = FaultAction::Kind::kFlip;
+    } else if (kind == "trunc") {
+      a.kind = FaultAction::Kind::kTruncate;
+    } else if (kind == "dup") {
+      a.kind = FaultAction::Kind::kDuplicate;
+    } else if (kind == "part") {
+      a.kind = FaultAction::Kind::kPartition;
+    } else {
+      throw InvalidArgument("fault plan: unknown kind '" + kind + "'");
+    }
+    try {
+      a.index = static_cast<std::size_t>(std::stoull(rest));
+      if (!arg_str.empty()) {
+        a.arg = std::stoull(arg_str);
+        a.has_arg = true;
+      }
+    } catch (const std::exception&) {
+      throw InvalidArgument("fault plan: bad number in token '" + token +
+                            "'");
+    }
+    plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultAction& a : actions) {
+    if (!out.empty()) out += ';';
+    out += kind_name(a.kind);
+    out += '@';
+    out += std::to_string(a.index);
+    if (a.has_arg) {
+      out += ':';
+      out += std::to_string(a.arg);
+    }
+  }
+  return out;
+}
+
+ChannelPair FaultInjectChannel::wrap_pair(ChannelPair inner, FaultPlan plan_a,
+                                          FaultPlan plan_b,
+                                          std::uint64_t seed) {
+  ChannelPair out;
+  out.a = wrap(std::move(inner.a), std::move(plan_a), seed);
+  out.b = wrap(std::move(inner.b), std::move(plan_b), mix64(seed));
+  return out;
+}
+
+std::shared_ptr<Channel> FaultInjectChannel::wrap(
+    std::shared_ptr<Channel> inner, FaultPlan plan, std::uint64_t seed) {
+  return std::shared_ptr<Channel>(
+      new FaultInjectChannel(std::move(inner), std::move(plan), seed));
+}
+
+void FaultInjectChannel::close() { inner_->close(); }
+
+void FaultInjectChannel::forward(Tag tag,
+                                 const std::vector<std::uint8_t>& framed) {
+  inner_->send(tag, std::span<const std::uint8_t>(framed));
+}
+
+void FaultInjectChannel::send_impl(Message&& m) {
+  const std::size_t idx = send_index_++;
+  const std::uint64_t seq = next_seq_++;
+
+  std::vector<std::uint8_t> framed(kMiniFrameBytes + m.payload.size());
+  put_u64(framed.data(), seq);
+  put_u32(framed.data() + 8, crc32(m.payload.data(), m.payload.size()));
+  if (!m.payload.empty()) {
+    std::memcpy(framed.data() + kMiniFrameBytes, m.payload.data(),
+                m.payload.size());
+  }
+
+  bool drop = false, close_after = false, duplicate = false;
+  for (const FaultAction& a : plan_.actions) {
+    if (a.index != idx) continue;
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    switch (a.kind) {
+      case FaultAction::Kind::kDelay: {
+        const std::uint64_t ms = a.has_arg ? a.arg : 10;
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        break;
+      }
+      case FaultAction::Kind::kDrop:
+        drop = true;
+        break;
+      case FaultAction::Kind::kClose:
+        drop = true;
+        close_after = true;
+        break;
+      case FaultAction::Kind::kFlip: {
+        // Flip one bit past the seq field (crc or payload): the receiver
+        // sees a CRC mismatch while sequence accounting stays intact.
+        const std::size_t region_bits = (framed.size() - 8) * 8;
+        const std::uint64_t bit =
+            (a.has_arg ? a.arg : mix64(seed_ ^ idx)) % region_bits;
+        framed[8 + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        break;
+      }
+      case FaultAction::Kind::kTruncate: {
+        const std::size_t n =
+            std::min<std::size_t>(a.has_arg ? a.arg : 1, framed.size());
+        framed.resize(framed.size() - n);
+        break;
+      }
+      case FaultAction::Kind::kDuplicate:
+        duplicate = true;
+        break;
+      case FaultAction::Kind::kPartition:
+        partition_left_ =
+            std::max<std::size_t>(partition_left_, a.has_arg ? a.arg : 2);
+        break;
+    }
+  }
+
+  if (partition_left_ > 0) {
+    // Partitioned: buffer in order; the last message of the window heals
+    // the partition and releases the backlog. A partition that never heals
+    // (fewer sends than the window) behaves like dropped messages.
+    if (!drop) {
+      held_.push_back(Message{m.tag, framed});
+      if (duplicate) held_.push_back(Message{m.tag, framed});
+    }
+    if (--partition_left_ == 0) {
+      for (const Message& h : held_) forward(h.tag, h.payload);
+      held_.clear();
+    }
+    if (close_after) inner_->close();
+    return;
+  }
+
+  if (!drop) {
+    forward(m.tag, framed);
+    if (duplicate) forward(m.tag, framed);
+  }
+  if (close_after) inner_->close();
+}
+
+Message FaultInjectChannel::recv_impl(Deadline deadline) {
+  for (;;) {
+    Message m = inner_->recv_any(deadline);
+    if (m.payload.size() < kMiniFrameBytes) {
+      throw NetworkError("FaultInjectChannel: truncated frame (" +
+                         std::to_string(m.payload.size()) + " bytes)");
+    }
+    const std::uint64_t seq = get_u64(m.payload.data());
+    const std::uint32_t crc = get_u32(m.payload.data() + 8);
+    if (crc32(m.payload.data() + kMiniFrameBytes,
+              m.payload.size() - kMiniFrameBytes) != crc) {
+      throw NetworkError(
+          "FaultInjectChannel: corrupt frame (crc mismatch)");
+    }
+    if (seq <= last_recv_seq_) continue;  // duplicate delivery — absorbed
+    last_recv_seq_ = seq;                 // gaps = dropped frames, allowed
+    m.payload.erase(m.payload.begin(),
+                    m.payload.begin() + kMiniFrameBytes);
+    return m;
+  }
+}
+
+}  // namespace psml::net

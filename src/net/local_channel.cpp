@@ -26,22 +26,28 @@ void LocalChannel::send_impl(Message&& m) {
   tx_->cv.notify_one();
 }
 
-Message LocalChannel::recv_impl() {
+Message LocalChannel::recv_impl(Deadline deadline) {
   std::unique_lock<std::mutex> lock(rx_->mutex);
-  // Debug aid (PSML_RECV_DEBUG=1): report stalls instead of waiting
-  // silently — used to diagnose protocol-level distributed deadlocks.
-  static const bool debug = std::getenv("PSML_RECV_DEBUG") != nullptr;
-  if (debug) {
-    int stalls = 0;
-    while (!rx_->cv.wait_for(lock, std::chrono::seconds(5), [this] {
-      return !rx_->items.empty() || rx_->closed;
-    })) {
-      std::fprintf(stderr, "[psml recv stall #%d] thread %p queue=%p empty\n",
-                   ++stalls, static_cast<void*>(&lock),
-                   static_cast<void*>(rx_.get()));
+  const auto ready = [this] { return !rx_->items.empty() || rx_->closed; };
+  if (deadline != kNoDeadline) {
+    if (!rx_->cv.wait_until(lock, deadline, ready)) {
+      throw TimeoutError("LocalChannel: recv deadline expired");
     }
   } else {
-    rx_->cv.wait(lock, [this] { return !rx_->items.empty() || rx_->closed; });
+    // Debug aid (PSML_RECV_DEBUG=1): report stalls instead of waiting
+    // silently — used to diagnose protocol-level distributed deadlocks.
+    static const bool debug = std::getenv("PSML_RECV_DEBUG") != nullptr;
+    if (debug) {
+      int stalls = 0;
+      while (!rx_->cv.wait_for(lock, std::chrono::seconds(5), ready)) {
+        std::fprintf(stderr,
+                     "[psml recv stall #%d] thread %p queue=%p empty\n",
+                     ++stalls, static_cast<void*>(&lock),
+                     static_cast<void*>(rx_.get()));
+      }
+    } else {
+      rx_->cv.wait(lock, ready);
+    }
   }
   if (rx_->items.empty()) {
     throw NetworkError("LocalChannel: peer closed");

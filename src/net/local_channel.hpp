@@ -20,7 +20,7 @@ class LocalChannel final : public Channel {
 
  protected:
   void send_impl(Message&& m) override;
-  Message recv_impl() override;
+  Message recv_impl(Deadline deadline) override;
 
  private:
   struct Queue {

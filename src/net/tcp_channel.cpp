@@ -1,30 +1,61 @@
 #include "net/tcp_channel.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
+#include "common/crc32.hpp"
+#include "common/env.hpp"
 #include "common/log.hpp"
 
 namespace psml::net {
 
 namespace {
 
-constexpr std::uint32_t kFrameMagic = 0x50534d4cu;  // "PSML"
+// Wire format v2 ("PSM2"). v1 frames ("PSML", no crc/seq) are rejected with
+// a clean NetworkError — both endpoints of a deployment upgrade together.
+constexpr std::uint32_t kFrameMagic = 0x324d5350u;  // "PSM2"
+constexpr std::uint32_t kHelloMagic = 0x484d5350u;  // "PSMH"
+constexpr std::uint32_t kWireVersion = 2;
 
 struct FrameHeader {
   std::uint32_t magic;
   std::uint32_t tag;
+  std::uint64_t seq;
   std::uint64_t payload_len;
+  std::uint32_t payload_crc;
+  std::uint32_t header_crc;  // crc32 over the preceding 28 bytes
 };
+static_assert(sizeof(FrameHeader) == 32);
+
+struct HelloFrame {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t session_id;     // 0 from a client opening a fresh session
+  std::uint64_t last_recv_seq;  // highest seq this side has delivered
+  std::uint32_t flags;          // bit 0: resume capable
+  std::uint32_t crc;            // crc32 over the preceding 28 bytes
+};
+static_assert(sizeof(HelloFrame) == 32);
+
+constexpr std::uint32_t kHelloFlagResume = 1u;
+
+std::size_t max_frame_bytes() {
+  static const std::size_t cap =
+      env_size_t("PSML_NET_MAX_FRAME", 1ull << 30);
+  return cap;
+}
 
 void set_nodelay(int fd) {
   int one = 1;
@@ -35,9 +66,243 @@ void set_nodelay(int fd) {
   throw NetworkError(what + ": " + std::strerror(errno));
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fresh_session_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  return mix64(static_cast<std::uint64_t>(now) ^
+               (counter.fetch_add(1) << 32) ^
+               (static_cast<std::uint64_t>(::getpid()) << 16));
+}
+
+// Remaining milliseconds until `deadline`, clamped for poll(); -1 means
+// wait forever, 0 means already expired.
+int poll_timeout_ms(Deadline deadline) {
+  if (deadline == kNoDeadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  constexpr long long kMaxPoll = 1000 * 60 * 60;  // re-poll at least hourly
+  return static_cast<int>(std::min<long long>(left.count(), kMaxPoll));
+}
+
+// Blocks until `fd` is ready for `events` or the deadline expires.
+void poll_or_timeout(int fd, short events, Deadline deadline,
+                     const char* what) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, poll_timeout_ms(deadline));
+    if (rc > 0) return;  // readable/writable or error — the syscall reports
+    if (rc == 0) {
+      if (deadline != kNoDeadline && Clock::now() >= deadline) {
+        throw TimeoutError(std::string("TcpChannel: ") + what +
+                           " deadline expired");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno(what);
+  }
+}
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
 }  // namespace
 
-std::shared_ptr<Channel> TcpChannel::listen(std::uint16_t port) {
+// ---------------------------------------------------------------------------
+// Raw I/O
+
+void TcpChannel::write_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t TcpChannel::read_some(int fd, void* data, std::size_t size,
+                                  Deadline deadline) {
+  for (;;) {
+    poll_or_timeout(fd, POLLIN, deadline, "recv");
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n == 0) throw NetworkError("peer closed connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw_errno("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+namespace {
+
+void write_frame(int fd, Tag tag, std::uint64_t seq,
+                 const std::vector<std::uint8_t>& payload) {
+  FrameHeader h{};
+  h.magic = kFrameMagic;
+  h.tag = tag;
+  h.seq = seq;
+  h.payload_len = payload.size();
+  h.payload_crc = crc32(payload.data(), payload.size());
+  h.header_crc = crc32(&h, sizeof(FrameHeader) - sizeof(std::uint32_t));
+  TcpChannel::write_all(fd, &h, sizeof(h));
+  if (!payload.empty())
+    TcpChannel::write_all(fd, payload.data(), payload.size());
+}
+
+void read_exact(int fd, void* data, std::size_t size, Deadline deadline) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (size > 0) {
+    const std::size_t n = TcpChannel::read_some(fd, p, size, deadline);
+    p += n;
+    size -= n;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dial / accept / handshake
+
+int TcpChannel::dial_once(const std::string& host, std::uint16_t port,
+                          Deadline deadline) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0) {
+    throw NetworkError("getaddrinfo failed for " + host);
+  }
+  std::string last_err = "no addresses";
+  // Try every resolved address, not just the first.
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    if (deadline != kNoDeadline && Clock::now() >= deadline) break;
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    const int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    bool ok = (rc == 0);
+    if (!ok && errno == EINPROGRESS) {
+      try {
+        poll_or_timeout(fd, POLLOUT, deadline, "connect");
+      } catch (const NetworkError& e) {
+        last_err = e.what();
+        ::close(fd);
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err == 0) {
+        ok = true;
+      } else {
+        last_err = std::string("connect: ") + std::strerror(err);
+      }
+    } else if (!ok) {
+      last_err = std::string("connect: ") + std::strerror(errno);
+    }
+    if (ok) {
+      ::fcntl(fd, F_SETFL, fl);
+      set_nodelay(fd);
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  throw NetworkError("connect to " + host + ":" + port_str + " failed: " +
+                     last_err);
+}
+
+int TcpChannel::accept_once(int listen_fd, Deadline deadline) {
+  poll_or_timeout(listen_fd, POLLIN, deadline, "accept");
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) throw_errno("accept");
+  set_nodelay(fd);
+  return fd;
+}
+
+namespace {
+
+HelloFrame read_hello(int fd, Deadline deadline) {
+  HelloFrame h{};
+  read_exact(fd, &h, sizeof(h), deadline);
+  if (h.magic != kHelloMagic ||
+      h.crc != crc32(&h, sizeof(HelloFrame) - sizeof(std::uint32_t))) {
+    throw NetworkError("TcpChannel: bad handshake frame (corrupt stream?)");
+  }
+  if (h.version != kWireVersion) {
+    throw NetworkError("TcpChannel: wire version mismatch (got " +
+                       std::to_string(h.version) + ", want " +
+                       std::to_string(kWireVersion) + ")");
+  }
+  return h;
+}
+
+void write_hello(int fd, std::uint64_t session_id, std::uint64_t last_recv,
+                 bool resume) {
+  HelloFrame h{};
+  h.magic = kHelloMagic;
+  h.version = kWireVersion;
+  h.session_id = session_id;
+  h.last_recv_seq = last_recv;
+  h.flags = resume ? kHelloFlagResume : 0;
+  h.crc = crc32(&h, sizeof(HelloFrame) - sizeof(std::uint32_t));
+  TcpChannel::write_all(fd, &h, sizeof(h));
+}
+
+}  // namespace
+
+void TcpChannel::handshake_client(int fd, std::uint64_t& session_id,
+                                  std::uint64_t last_recv_seq, bool resume,
+                                  std::uint64_t& peer_last_recv) {
+  write_hello(fd, session_id, last_recv_seq, resume);
+  const Deadline d = deadline_after(std::chrono::milliseconds(10000));
+  const HelloFrame h = read_hello(fd, d);
+  if (session_id != 0 && h.session_id != session_id) {
+    throw NetworkError("TcpChannel: session id mismatch on resume");
+  }
+  session_id = h.session_id;
+  peer_last_recv = h.last_recv_seq;
+}
+
+void TcpChannel::handshake_server(int fd, std::uint64_t& session_id,
+                                  std::uint64_t last_recv_seq, bool resume,
+                                  std::uint64_t& peer_last_recv) {
+  const Deadline d = deadline_after(std::chrono::milliseconds(10000));
+  const HelloFrame h = read_hello(fd, d);
+  if (session_id == 0) {
+    session_id = h.session_id != 0 ? h.session_id : fresh_session_id();
+  } else if (h.session_id != session_id) {
+    throw NetworkError("TcpChannel: peer resumed an unknown session");
+  }
+  peer_last_recv = h.last_recv_seq;
+  write_hello(fd, session_id, last_recv_seq, resume);
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+
+std::shared_ptr<Channel> TcpChannel::listen(std::uint16_t port,
+                                            TcpOptions opts) {
   const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (lfd < 0) throw_errno("socket");
   int one = 1;
@@ -55,55 +320,108 @@ std::shared_ptr<Channel> TcpChannel::listen(std::uint16_t port) {
     ::close(lfd);
     throw_errno("listen");
   }
-  const int fd = ::accept(lfd, nullptr, nullptr);
-  ::close(lfd);
-  if (fd < 0) throw_errno("accept");
-  set_nodelay(fd);
-  return std::shared_ptr<Channel>(new TcpChannel(fd));
+
+  double accept_timeout = opts.accept_timeout_sec;
+  if (accept_timeout < 0) {
+    const std::size_t env_ms = env_size_t("PSML_NET_ACCEPT_TIMEOUT_MS", 0);
+    accept_timeout = env_ms > 0 ? static_cast<double>(env_ms) / 1000.0 : 0.0;
+  }
+  const Deadline d =
+      accept_timeout > 0
+          ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(accept_timeout))
+          : kNoDeadline;
+  int fd = -1;
+  std::uint64_t session_id = 0;
+  std::uint64_t peer_last = 0;
+  try {
+    fd = accept_once(lfd, d);
+    handshake_server(fd, session_id, 0, opts.resume, peer_last);
+  } catch (...) {
+    if (fd >= 0) ::close(fd);
+    ::close(lfd);
+    throw;
+  }
+  int keep_lfd = -1;
+  if (opts.resume) {
+    keep_lfd = lfd;  // retained for re-accepting the session after a drop
+  } else {
+    ::close(lfd);
+  }
+  return std::shared_ptr<Channel>(new TcpChannel(
+      fd, keep_lfd, Role::kServer, std::string(), port, opts, session_id));
 }
 
 std::shared_ptr<Channel> TcpChannel::connect(const std::string& host,
                                              std::uint16_t port,
                                              double timeout_sec) {
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* res = nullptr;
-  const std::string port_str = std::to_string(port);
-  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0) {
-    throw NetworkError("getaddrinfo failed for " + host);
-  }
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout_sec);
-  int fd = -1;
-  for (;;) {
-    fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
-    if (fd < 0) {
-      ::freeaddrinfo(res);
-      throw_errno("socket");
-    }
-    if (::connect(fd, res->ai_addr, res->ai_addrlen) == 0) break;
-    ::close(fd);
-    fd = -1;
-    if (std::chrono::steady_clock::now() >= deadline) {
-      ::freeaddrinfo(res);
-      throw NetworkError("connect to " + host + ":" + port_str + " timed out");
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  }
-  ::freeaddrinfo(res);
-  set_nodelay(fd);
-  return std::shared_ptr<Channel>(new TcpChannel(fd));
+  TcpOptions opts;
+  opts.connect_timeout_sec = timeout_sec;
+  return connect(host, port, opts);
 }
+
+std::shared_ptr<Channel> TcpChannel::connect(const std::string& host,
+                                             std::uint16_t port,
+                                             TcpOptions opts) {
+  const Deadline deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opts.connect_timeout_sec));
+  std::uint64_t jitter_state = opts.jitter_seed;
+  int fd = -1;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fd = dial_once(host, port, deadline);
+      break;
+    } catch (const NetworkError& e) {
+      if (Clock::now() >= deadline) {
+        throw NetworkError("connect to " + host + ":" +
+                           std::to_string(port) + " timed out (" + e.what() +
+                           ")");
+      }
+      // Exponential backoff with deterministic jitter in [0.5, 1.0).
+      jitter_state = mix64(jitter_state);
+      const double factor =
+          0.5 + 0.5 * (static_cast<double>(jitter_state >> 11) /
+                       9007199254740992.0);
+      const double base = std::min(opts.backoff_max_ms,
+                                   opts.backoff_base_ms * double(1u << std::min(attempt, 20)));
+      sleep_ms(base * factor);
+    }
+  }
+  std::uint64_t session_id = 0;
+  std::uint64_t peer_last = 0;
+  try {
+    handshake_client(fd, session_id, 0, opts.resume, peer_last);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return std::shared_ptr<Channel>(new TcpChannel(
+      fd, -1, Role::kClient, host, port, opts, session_id));
+}
+
+TcpChannel::TcpChannel(int fd, int listen_fd, Role role, std::string host,
+                       std::uint16_t port, TcpOptions opts,
+                       std::uint64_t session_id)
+    : fd_(fd),
+      role_(role),
+      peer_host_(std::move(host)),
+      peer_port_(port),
+      opts_(opts),
+      session_id_(session_id),
+      listen_fd_(listen_fd),
+      backoff_state_(opts.jitter_seed ^ session_id) {}
 
 TcpChannel::~TcpChannel() {
   // Destruction is never concurrent with send/recv (standard object
-  // lifetime), so this is the only place the descriptor may actually be
-  // ::close()d — closing it any earlier could hand the fd number to an
+  // lifetime), so this is the only place descriptors may actually be
+  // ::close()d — closing them any earlier could hand the fd number to an
   // unrelated open() while a blocked recv() still references it.
   close();
   const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
   if (fd >= 0) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (const int rfd : retired_fds_) ::close(rfd);
 }
 
 void TcpChannel::close() {
@@ -115,61 +433,223 @@ void TcpChannel::close() {
   if (!shut_.exchange(true, std::memory_order_acq_rel)) {
     const int fd = fd_.load(std::memory_order_acquire);
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   }
 }
 
-void TcpChannel::write_all(int fd, const void* data, std::size_t size) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  while (size > 0) {
-    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      throw_errno("send");
-    }
-    p += n;
-    size -= static_cast<std::size_t>(n);
+void TcpChannel::inject_disconnect() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect machinery
+
+double TcpChannel::next_backoff_ms(int attempt) {
+  backoff_state_ = mix64(backoff_state_);
+  const double factor =
+      0.5 + 0.5 * (static_cast<double>(backoff_state_ >> 11) /
+                   9007199254740992.0);
+  const double base =
+      std::min(opts_.backoff_max_ms,
+               opts_.backoff_base_ms * double(1u << std::min(attempt, 20)));
+  return base * factor;
+}
+
+void TcpChannel::retransmit_from(int fd, std::uint64_t peer_last_recv) {
+  if (peer_last_recv + 1 >= next_send_seq_) return;  // peer has everything
+  if (ring_.empty() || ring_.front().seq > peer_last_recv + 1) {
+    throw NetworkError(
+        "TcpChannel: cannot resume — retransmit window no longer holds seq " +
+        std::to_string(peer_last_recv + 1));
+  }
+  for (const SentFrame& f : ring_) {
+    if (f.seq > peer_last_recv) write_frame(fd, f.tag, f.seq, f.payload);
   }
 }
 
-void TcpChannel::read_all(int fd, void* data, std::size_t size) {
-  auto* p = static_cast<std::uint8_t*>(data);
-  while (size > 0) {
-    const ssize_t n = ::recv(fd, p, size, 0);
-    if (n == 0) throw NetworkError("peer closed connection");
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("recv");
-    }
-    p += n;
-    size -= static_cast<std::size_t>(n);
+void TcpChannel::recover_or_throw(std::uint64_t failed_gen,
+                                  const NetworkError& err) {
+  if (shut_.load(std::memory_order_acquire)) {
+    throw NetworkError("TcpChannel: channel closed");
   }
+  std::unique_lock<std::mutex> lock(conn_mutex_);
+  if (conn_gen_ != failed_gen) return;  // a racing thread already recovered
+  if (!opts_.resume) throw err;
+
+  // Retire the dead socket; its number stays reserved until the destructor.
+  const int old = fd_.load(std::memory_order_acquire);
+  if (old >= 0) {
+    ::shutdown(old, SHUT_RDWR);
+    retired_fds_.push_back(old);
+  }
+
+  for (int attempt = 0; attempt < opts_.max_reconnects; ++attempt) {
+    if (shut_.load(std::memory_order_acquire)) {
+      throw NetworkError("TcpChannel: closed during reconnect");
+    }
+    sleep_ms(next_backoff_ms(attempt));
+    int nfd = -1;
+    try {
+      const Deadline d =
+          Clock::now() +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(opts_.connect_timeout_sec));
+      nfd = role_ == Role::kClient
+                ? dial_once(peer_host_, peer_port_, d)
+                : accept_once(listen_fd_, d);
+      std::uint64_t sid = session_id_;
+      std::uint64_t peer_last = 0;
+      const std::uint64_t my_last =
+          last_recv_seq_.load(std::memory_order_acquire);
+      if (role_ == Role::kClient) {
+        handshake_client(nfd, sid, my_last, true, peer_last);
+      } else {
+        handshake_server(nfd, sid, my_last, true, peer_last);
+      }
+      retransmit_from(nfd, peer_last);
+      fd_.store(nfd, std::memory_order_release);
+      ++conn_gen_;
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      PSML_INFO("TcpChannel: session " << session_id_ << " resumed after "
+                                       << (attempt + 1) << " attempt(s)");
+      return;
+    } catch (const Error&) {
+      if (nfd >= 0) {
+        ::shutdown(nfd, SHUT_RDWR);
+        retired_fds_.push_back(nfd);
+      }
+    }
+  }
+  throw NetworkError("TcpChannel: reconnect failed after " +
+                     std::to_string(opts_.max_reconnects) +
+                     " attempts; original error: " + err.what());
 }
+
+// ---------------------------------------------------------------------------
+// Data plane
 
 void TcpChannel::send_impl(Message&& m) {
-  const int fd = fd_.load(std::memory_order_acquire);
-  if (fd < 0 || shut_.load(std::memory_order_acquire)) {
+  if (shut_.load(std::memory_order_acquire)) {
     throw NetworkError("TcpChannel: send on closed channel");
   }
-  const FrameHeader h{kFrameMagic, m.tag, m.payload.size()};
-  write_all(fd, &h, sizeof(h));
-  if (!m.payload.empty()) write_all(fd, m.payload.data(), m.payload.size());
+  if (m.payload.size() > max_frame_bytes()) {
+    throw NetworkError("TcpChannel: payload of " +
+                       std::to_string(m.payload.size()) +
+                       " bytes exceeds PSML_NET_MAX_FRAME");
+  }
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    seq = next_send_seq_++;
+    if (opts_.resume) {
+      ring_bytes_ += m.payload.size() + sizeof(FrameHeader);
+      ring_.push_back(SentFrame{seq, m.tag, m.payload});
+      while (ring_bytes_ > opts_.retransmit_cap_bytes && !ring_.empty()) {
+        ring_bytes_ -= ring_.front().payload.size() + sizeof(FrameHeader);
+        ring_.pop_front();
+      }
+    }
+  }
+  for (;;) {
+    if (shut_.load(std::memory_order_acquire)) {
+      throw NetworkError("TcpChannel: send on closed channel");
+    }
+    std::uint64_t gen = 0;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      gen = conn_gen_;
+    }
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) throw NetworkError("TcpChannel: send on closed channel");
+    try {
+      write_frame(fd, m.tag, seq, m.payload);
+      return;
+    } catch (const NetworkError& e) {
+      recover_or_throw(gen, e);  // returns (retry) or throws
+    }
+  }
 }
 
-Message TcpChannel::recv_impl() {
-  const int fd = fd_.load(std::memory_order_acquire);
-  if (fd < 0 || shut_.load(std::memory_order_acquire)) {
-    throw NetworkError("TcpChannel: recv on closed channel");
+Message TcpChannel::recv_impl(Deadline deadline) {
+  for (;;) {
+    if (shut_.load(std::memory_order_acquire)) {
+      throw NetworkError("TcpChannel: recv on closed channel");
+    }
+    std::uint64_t gen = 0;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      gen = conn_gen_;
+    }
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) throw NetworkError("TcpChannel: recv on closed channel");
+
+    RecvState& st = recv_state_;
+    if (st.gen != gen) {
+      // A reconnect invalidated any partial frame: the peer re-sends whole
+      // frames after the handshake.
+      st = RecvState{};
+      st.gen = gen;
+      st.header.resize(sizeof(FrameHeader));
+    }
+    try {
+      while (!st.have_header) {
+        st.got += read_some(fd, st.header.data() + st.got,
+                            sizeof(FrameHeader) - st.got, deadline);
+        if (st.got < sizeof(FrameHeader)) continue;
+        FrameHeader h{};
+        std::memcpy(&h, st.header.data(), sizeof(h));
+        if (h.magic != kFrameMagic ||
+            h.header_crc !=
+                crc32(&h, sizeof(FrameHeader) - sizeof(std::uint32_t))) {
+          throw NetworkError("TcpChannel: bad frame header (corrupt stream?)");
+        }
+        if (h.payload_len > max_frame_bytes()) {
+          throw NetworkError("TcpChannel: frame of " +
+                             std::to_string(h.payload_len) +
+                             " bytes exceeds PSML_NET_MAX_FRAME");
+        }
+        st.msg.tag = h.tag;
+        st.msg.payload.resize(h.payload_len);
+        st.payload_crc = h.payload_crc;
+        st.have_header = true;
+        st.got = 0;
+        // Stash seq in the state via the header buffer (still intact).
+      }
+      FrameHeader h{};
+      std::memcpy(&h, st.header.data(), sizeof(h));
+      while (st.got < st.msg.payload.size()) {
+        st.got += read_some(fd, st.msg.payload.data() + st.got,
+                            st.msg.payload.size() - st.got, deadline);
+      }
+      if (crc32(st.msg.payload.data(), st.msg.payload.size()) !=
+          st.payload_crc) {
+        throw NetworkError("TcpChannel: payload crc mismatch (corrupt "
+                           "stream?)");
+      }
+      const std::uint64_t last =
+          last_recv_seq_.load(std::memory_order_acquire);
+      // Frame complete: reset state before dedupe/return.
+      st.have_header = false;
+      st.got = 0;
+      Message out = std::move(st.msg);
+      st.msg = Message{};
+      if (h.seq <= last) continue;  // duplicate after a resume retransmit
+      if (h.seq != last + 1) {
+        throw NetworkError("TcpChannel: sequence gap (got " +
+                           std::to_string(h.seq) + ", expected " +
+                           std::to_string(last + 1) + ")");
+      }
+      last_recv_seq_.store(h.seq, std::memory_order_release);
+      return out;
+    } catch (const TimeoutError&) {
+      // Deadline expired mid-frame: keep the partial state for the next
+      // call and surface the timeout to the caller.
+      throw;
+    } catch (const NetworkError& e) {
+      recover_or_throw(gen, e);  // returns (retry) or throws
+    }
   }
-  FrameHeader h{};
-  read_all(fd, &h, sizeof(h));
-  if (h.magic != kFrameMagic) {
-    throw NetworkError("TcpChannel: bad frame magic (corrupt stream?)");
-  }
-  Message m;
-  m.tag = h.tag;
-  m.payload.resize(h.payload_len);
-  if (h.payload_len > 0) read_all(fd, m.payload.data(), h.payload_len);
-  return m;
 }
 
 }  // namespace psml::net

@@ -1,27 +1,80 @@
 // TCP channel backend for multi-process deployment.
 //
-// Frame format on the wire (little-endian):
-//   u32 magic | u32 tag | u64 payload_len | payload bytes
-// Blocking socket I/O with full-read/full-write loops; TCP_NODELAY set so
-// the small reconstruct-phase messages are not Nagle-delayed.
+// Frame format on the wire (little-endian, version 2):
+//   u32 magic | u32 tag | u64 seq | u64 payload_len | u32 payload_crc
+//   | u32 header_crc | payload bytes
+// Every field of the header is covered by header_crc (CRC-32 of the first
+// 28 bytes) so a corrupt or desynchronized stream is rejected before the
+// payload length is trusted; payload_len is additionally capped
+// (PSML_NET_MAX_FRAME, default 1 GiB) so a garbage header cannot trigger a
+// multi-GB allocation. `seq` numbers each direction's frames from 1 and
+// enables duplicate suppression and reconnect-and-resume.
+//
+// Connection lifecycle: every (re)connection starts with a Hello handshake
+// carrying {session id, last delivered seq}. With TcpOptions::resume
+// enabled, both endpoints keep a bounded retransmit ring of sent frames;
+// when the connection drops mid-session the client redials (exponential
+// backoff with deterministic jitter), the server re-accepts on its retained
+// listen socket, both re-handshake with the same session id, and each side
+// retransmits the frames the other has not yet delivered. The seq numbers
+// make the resume exactly-once: the receiver drops anything at or below its
+// last delivered seq.
+//
+// Socket I/O is poll()-based so every read honours the recv deadline and a
+// blocked accept/connect can time out as TimeoutError. A deadline that
+// expires mid-frame keeps the partially read frame in channel state and the
+// next recv_impl() resumes the read — no bytes are lost or re-delivered.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "net/channel.hpp"
 
 namespace psml::net {
 
+// Knobs for the fault-tolerant transport. The defaults reproduce the
+// pre-existing behaviour (no resume, wait forever for the peer to arrive).
+struct TcpOptions {
+  // connect(): total time to keep redialing before giving up.
+  double connect_timeout_sec = 10.0;
+  // listen(): how long to wait in accept; < 0 reads
+  // PSML_NET_ACCEPT_TIMEOUT_MS (0 = wait forever). Expiry throws
+  // TimeoutError.
+  double accept_timeout_sec = -1.0;
+
+  // Reconnect-and-resume. Requires both endpoints to opt in.
+  bool resume = false;
+  int max_reconnects = 5;           // redial/re-accept attempts per outage
+  std::size_t retransmit_cap_bytes = 64ull << 20;  // per-direction ring
+
+  // Exponential backoff with deterministic jitter, shared by the connect()
+  // retry loop and the reconnect path: sleep k grows
+  // base * 2^k, capped at max, each scaled by a jitter factor in
+  // [0.5, 1.0) drawn from a splitmix64 chain over jitter_seed.
+  double backoff_base_ms = 10.0;
+  double backoff_max_ms = 2000.0;
+  std::uint64_t jitter_seed = 0x243f6a8885a308d3ull;
+};
+
 class TcpChannel final : public Channel {
  public:
-  // Listens on `port` (all interfaces) and accepts exactly one peer.
-  static std::shared_ptr<Channel> listen(std::uint16_t port);
+  // Listens on `port` (all interfaces) and accepts exactly one peer, then
+  // performs the session handshake. With opts.resume the listening socket is
+  // retained for re-accepting the same session after a drop.
+  static std::shared_ptr<Channel> listen(std::uint16_t port,
+                                        TcpOptions opts = {});
 
-  // Connects to host:port, retrying for up to `timeout_sec` so either side
-  // can start first.
+  // Connects to host:port, retrying with backoff+jitter over every address
+  // getaddrinfo returns so either side can start first.
+  static std::shared_ptr<Channel> connect(const std::string& host,
+                                          std::uint16_t port,
+                                          TcpOptions opts);
   static std::shared_ptr<Channel> connect(const std::string& host,
                                           std::uint16_t port,
                                           double timeout_sec = 10.0);
@@ -30,22 +83,104 @@ class TcpChannel final : public Channel {
   void close() override;
   bool send_may_block() const override { return true; }
 
+  // Test hook: severs the current connection as a network fault would
+  // (shutdown of the socket without marking the channel closed). With
+  // resume enabled the next send/recv reconnects; without it they throw
+  // NetworkError. Both endpoints observe the break.
+  void inject_disconnect();
+
+  std::uint64_t session_id() const { return session_id_; }
+  int reconnect_count() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+  // Deadline-aware raw I/O on one fd, shared with the framing helpers.
+  // Throws TimeoutError on deadline expiry and NetworkError on socket
+  // failure / EOF.
+  static void write_all(int fd, const void* data, std::size_t size);
+  static std::size_t read_some(int fd, void* data, std::size_t size,
+                               Deadline deadline);
+
  protected:
   void send_impl(Message&& m) override;
-  Message recv_impl() override;
+  Message recv_impl(Deadline deadline) override;
 
  private:
-  explicit TcpChannel(int fd) : fd_(fd) {}
+  enum class Role { kServer, kClient };
 
-  void write_all(int fd, const void* data, std::size_t size);
-  void read_all(int fd, void* data, std::size_t size);
+  struct SentFrame {
+    std::uint64_t seq = 0;
+    Tag tag = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  // Partially read frame, preserved across a deadline expiry so the stream
+  // never desynchronizes. Only the current drainer thread touches it (the
+  // base class serializes recv_impl calls); `gen` invalidates it after a
+  // reconnect.
+  struct RecvState {
+    std::uint64_t gen = 0;
+    bool have_header = false;
+    std::size_t got = 0;  // bytes of header or payload read so far
+    std::vector<std::uint8_t> header;
+    Message msg;
+    std::uint32_t payload_crc = 0;
+  };
+
+  TcpChannel(int fd, int listen_fd, Role role, std::string host,
+             std::uint16_t port, TcpOptions opts, std::uint64_t session_id);
+
+  // Called by send/recv after a socket-level failure observed under
+  // connection generation `failed_gen`. Returns (retry the operation) if the
+  // connection was re-established — by this call or a racing one — and
+  // throws otherwise.
+  void recover_or_throw(std::uint64_t failed_gen, const NetworkError& err);
+
+  // Dial / accept / handshake helpers used by the factories and the
+  // reconnect path.
+  static int dial_once(const std::string& host, std::uint16_t port,
+                       Deadline deadline);
+  static int accept_once(int listen_fd, Deadline deadline);
+  static void handshake_client(int fd, std::uint64_t& session_id,
+                               std::uint64_t last_recv_seq, bool resume,
+                               std::uint64_t& peer_last_recv);
+  static void handshake_server(int fd, std::uint64_t& session_id,
+                               std::uint64_t last_recv_seq, bool resume,
+                               std::uint64_t& peer_last_recv);
+  void retransmit_from(int fd, std::uint64_t peer_last_recv);
+
+  double next_backoff_ms(int attempt);
 
   // close() may race in-flight send/recv on other threads: it only
   // shutdown()s the socket (waking blocked syscalls), and the destructor —
   // which by object-lifetime rules cannot race them — does the ::close().
-  // shut_'s exchange makes the shutdown happen exactly once.
+  // Reconnects retire the dead fd into retired_fds_ (closed by the
+  // destructor) for the same reason: an fd number must never be recycled
+  // while a blocked reader could still reference it.
   std::atomic<int> fd_{-1};
   std::atomic<bool> shut_{false};
+  const Role role_;
+  const std::string peer_host_;
+  const std::uint16_t peer_port_;
+  const TcpOptions opts_;
+  std::uint64_t session_id_ = 0;
+  int listen_fd_ = -1;
+
+  // Guards the reconnect state machine: conn_gen_, retired_fds_, the
+  // retransmit ring, seq assignment, and backoff_state_. Never held across
+  // a blocking data-plane read (only handshake I/O during reconnect).
+  std::mutex conn_mutex_;
+  std::uint64_t conn_gen_ = 1;
+  std::vector<int> retired_fds_;
+  std::uint64_t backoff_state_;
+  std::atomic<int> reconnects_{0};
+
+  std::uint64_t next_send_seq_ = 1;       // under conn_mutex_
+  std::deque<SentFrame> ring_;            // under conn_mutex_
+  std::size_t ring_bytes_ = 0;            // under conn_mutex_
+  std::atomic<std::uint64_t> last_recv_seq_{0};
+
+  RecvState recv_state_;
 };
 
 }  // namespace psml::net

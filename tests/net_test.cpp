@@ -1,10 +1,19 @@
 // Channel tests: local pair semantics, tag-selective receive, TCP loopback,
-// matrix serialization, traffic stats, close/error behaviour.
+// matrix serialization, traffic stats, close/error behaviour, receive
+// deadlines, and the hardened TCP framing (header validation, accept
+// timeout, reconnect-and-resume).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "common/crc32.hpp"
 #include "net/local_channel.hpp"
 #include "net/serialize.hpp"
 #include "net/tcp_channel.hpp"
@@ -260,6 +269,255 @@ TEST(TcpChannel, PeerCloseRaises) {
 
 TEST(TcpChannel, ConnectTimeoutOnDeadPort) {
   EXPECT_THROW(TcpChannel::connect("127.0.0.1", 39254, 0.3), NetworkError);
+}
+
+// --------------------------------------------------------------------------
+// Receive deadlines
+
+TEST(LocalChannel, RecvDeadlineThrowsTimeoutErrorAndChannelSurvives) {
+  auto pair = LocalChannel::make_pair();
+  EXPECT_THROW(
+      pair.b->recv(1, deadline_after(std::chrono::milliseconds(50))),
+      TimeoutError);
+  // A timeout is not fatal: the channel keeps working afterwards.
+  pair.a->send(1, bytes({1}));
+  EXPECT_EQ(pair.b->recv(1).payload, bytes({1}));
+}
+
+TEST(LocalChannel, DefaultTimeoutAppliesToPlainRecv) {
+  auto pair = LocalChannel::make_pair();
+  pair.b->set_default_timeout(std::chrono::milliseconds(50));
+  EXPECT_THROW(pair.b->recv(1), TimeoutError);
+  EXPECT_THROW(pair.b->recv_any(), TimeoutError);
+  // Messages that are already buffered beat the deadline.
+  pair.a->send(2, bytes({2}));
+  EXPECT_EQ(pair.b->recv(2).payload, bytes({2}));
+  pair.b->set_default_timeout(std::chrono::milliseconds(0));  // disable again
+}
+
+TEST(LocalChannel, WaiterTimesOutWhileAnotherThreadDrains) {
+  // The drainer blocks forever on tag 1; a second thread waiting on tag 2
+  // with a deadline must still get its TimeoutError (the deadline applies
+  // to the reorder-buffer wait, not just the transport read).
+  auto pair = LocalChannel::make_pair();
+  std::thread drainer([&] {
+    EXPECT_EQ(pair.b->recv(1).payload, bytes({1}));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_THROW(
+      pair.b->recv(2, deadline_after(std::chrono::milliseconds(60))),
+      TimeoutError);
+  pair.a->send(1, bytes({1}));
+  drainer.join();
+}
+
+// --------------------------------------------------------------------------
+// recv_any vs the tag-pending reorder buffer
+
+TEST(LocalChannel, RecvAnyDrainsTagPendingBufferFirst) {
+  // recv(3) buffers tags 1 and 2 while hunting for 3; a later recv_any
+  // must return those buffered messages, in arrival order, before reading
+  // the transport again.
+  auto pair = LocalChannel::make_pair();
+  pair.a->send(1, bytes({1}));
+  pair.a->send(2, bytes({2}));
+  pair.a->send(3, bytes({3}));
+  EXPECT_EQ(pair.b->recv(3).payload, bytes({3}));
+  EXPECT_EQ(pair.b->recv_any().tag, 1u);
+  EXPECT_EQ(pair.b->recv_any().tag, 2u);
+}
+
+TEST(LocalChannel, CloseFailsAllPendingWaiters) {
+  // Several threads parked on different tags: close() must wake every one
+  // of them with NetworkError, not just the current drainer.
+  auto pair = LocalChannel::make_pair();
+  std::atomic<int> network_errors{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 3; ++t) {
+    waiters.emplace_back([&, t] {
+      try {
+        pair.b->recv(static_cast<Tag>(100 + t));
+      } catch (const NetworkError&) {
+        network_errors.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pair.a->close();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(network_errors.load(), 3);
+}
+
+// --------------------------------------------------------------------------
+// Hardened TCP framing
+
+TEST(TcpChannel, AcceptTimeoutSurfacesAsTimeoutError) {
+  TcpOptions opts;
+  opts.accept_timeout_sec = 0.2;
+  EXPECT_THROW(TcpChannel::listen(39257, opts), TimeoutError);
+}
+
+TEST(TcpChannel, ConnectRetriesUntilListenerAppears) {
+  // The listener starts late; connect()'s backoff loop must keep redialing
+  // instead of giving up on the first ECONNREFUSED. The port sits below the
+  // ephemeral range: redialing an ephemeral port can self-connect
+  // (simultaneous open) and steal it from the late listener's bind.
+  const std::uint16_t port = 19258;
+  std::shared_ptr<Channel> server;
+  std::thread listener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    server = TcpChannel::listen(port);
+  });
+  auto client = TcpChannel::connect("127.0.0.1", port, 5.0);
+  listener.join();
+  client->send(1, bytes({1}));
+  EXPECT_EQ(server->recv(1).payload, bytes({1}));
+}
+
+namespace {
+
+// Mirrors of the private wire structs in tcp_channel.cpp, used to speak the
+// protocol from a raw socket and then violate it.
+struct RawHello {
+  std::uint32_t magic = 0x484d5350u;  // "PSMH"
+  std::uint32_t version = 2;
+  std::uint64_t session_id = 0;
+  std::uint64_t last_recv_seq = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t crc = 0;
+};
+static_assert(sizeof(RawHello) == 32);
+
+struct RawFrameHeader {
+  std::uint32_t magic = 0x324d5350u;  // "PSM2"
+  std::uint32_t tag = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t payload_len = 0;
+  std::uint32_t payload_crc = 0;
+  std::uint32_t header_crc = 0;
+};
+static_assert(sizeof(RawFrameHeader) == 32);
+
+// Connects a raw socket to a TcpChannel server on `port` (retrying while
+// the listener thread is still binding) and completes the hello handshake,
+// returning the connected fd.
+int raw_handshake_client(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int fd = -1;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(fd, 0) << "raw client never reached the listener";
+  RawHello hello;
+  hello.crc = crc32(&hello, sizeof(hello) - sizeof(std::uint32_t));
+  EXPECT_EQ(::send(fd, &hello, sizeof(hello), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(hello)));
+  RawHello server_hello{};
+  EXPECT_EQ(::recv(fd, &server_hello, sizeof(server_hello), MSG_WAITALL),
+            static_cast<ssize_t>(sizeof(server_hello)));
+  return fd;
+}
+
+}  // namespace
+
+TEST(TcpChannel, CorruptFrameHeaderRejectedCleanly) {
+  const std::uint16_t port = 39259;
+  std::shared_ptr<Channel> server;
+  std::thread listener([&] { server = TcpChannel::listen(port); });
+  const int fd = raw_handshake_client(port);
+  listener.join();
+
+  std::uint8_t garbage[32];
+  std::fill(std::begin(garbage), std::end(garbage), 0xab);
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(garbage)));
+  EXPECT_THROW(server->recv(1), NetworkError);
+  ::close(fd);
+}
+
+TEST(TcpChannel, OversizedFrameHeaderRejectedWithoutAllocation) {
+  // A header whose CRC checks out but that announces an absurd payload must
+  // be refused by the PSML_NET_MAX_FRAME cap before any allocation.
+  const std::uint16_t port = 39260;
+  std::shared_ptr<Channel> server;
+  std::thread listener([&] { server = TcpChannel::listen(port); });
+  const int fd = raw_handshake_client(port);
+  listener.join();
+
+  RawFrameHeader h;
+  h.tag = 1;
+  h.seq = 1;
+  h.payload_len = 1ull << 40;  // 1 TiB
+  h.payload_crc = 0;
+  h.header_crc = crc32(&h, sizeof(h) - sizeof(std::uint32_t));
+  ASSERT_EQ(::send(fd, &h, sizeof(h), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(h)));
+  try {
+    server->recv(1);
+    FAIL() << "oversized frame was accepted";
+  } catch (const NetworkError& e) {
+    EXPECT_NE(std::string(e.what()).find("PSML_NET_MAX_FRAME"),
+              std::string::npos);
+  }
+  ::close(fd);
+}
+
+TEST(TcpChannel, ReconnectAndResumeAfterInjectedDisconnect) {
+  const std::uint16_t port = 39261;
+  TcpOptions opts;
+  opts.resume = true;
+  opts.backoff_base_ms = 5.0;
+  opts.backoff_max_ms = 100.0;
+
+  std::shared_ptr<Channel> server;
+  std::thread listener([&] { server = TcpChannel::listen(port, opts); });
+  auto client = TcpChannel::connect("127.0.0.1", port, opts);
+  listener.join();
+
+  client->send(1, bytes({1}));
+  EXPECT_EQ(server->recv(1).payload, bytes({1}));
+  server->send(2, bytes({2}));
+  EXPECT_EQ(client->recv(2).payload, bytes({2}));
+
+  auto* tcp_client = dynamic_cast<TcpChannel*>(client.get());
+  ASSERT_NE(tcp_client, nullptr);
+  const std::uint64_t session_before = tcp_client->session_id();
+  tcp_client->inject_disconnect();
+
+  // Traffic after the break must flow again over the resumed session. The
+  // client redials while the server re-accepts inside its recv.
+  std::thread sender([&] { client->send(3, bytes({3})); });
+  EXPECT_EQ(server->recv(3).payload, bytes({3}));
+  sender.join();
+  std::thread replier([&] { server->send(4, bytes({4, 4})); });
+  EXPECT_EQ(client->recv(4).payload, bytes({4, 4}));
+  replier.join();
+
+  EXPECT_GE(tcp_client->reconnect_count(), 1);
+  EXPECT_EQ(tcp_client->session_id(), session_before);
+}
+
+TEST(TcpChannel, DisconnectWithoutResumeFailsFast) {
+  const std::uint16_t port = 39262;
+  std::shared_ptr<Channel> server;
+  std::thread listener([&] { server = TcpChannel::listen(port); });
+  auto client = TcpChannel::connect("127.0.0.1", port, 5.0);
+  listener.join();
+
+  auto* tcp_client = dynamic_cast<TcpChannel*>(client.get());
+  ASSERT_NE(tcp_client, nullptr);
+  tcp_client->inject_disconnect();
+  EXPECT_THROW(server->recv(1), NetworkError);
 }
 
 }  // namespace
