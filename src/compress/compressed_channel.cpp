@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "net/serialize.hpp"
 #include "sparse/csr.hpp"
 #include "tensor/ops.hpp"
 
@@ -27,7 +28,9 @@ Endpoint::Endpoint(net::Channel& channel, Config cfg)
 void Endpoint::send(net::Tag tag, std::uint64_t key, const MatrixF& m) {
   std::lock_guard<std::mutex> lock(send_mutex_);
   stats_.messages += 1;
-  const std::size_t dense_payload = m.bytes() + 12 /*matrix header*/ + 1;
+  // Derived from the serializer (wire header + payload + our subkind byte),
+  // not hard-coded, so the ratio accounting tracks any header change.
+  const std::size_t dense_payload = net::encoded_matrix_bytes(m) + 1;
   stats_.dense_bytes += dense_payload;
 
   if (cfg_.enabled) {
@@ -38,7 +41,7 @@ void Endpoint::send(net::Tag tag, std::uint64_t key, const MatrixF& m) {
       if (tensor::zero_fraction(delta) >= cfg_.sparsity_threshold) {
         const auto csr = sparse::Csr::from_dense(delta);
         // CSR only pays off if it is actually smaller than dense.
-        if (csr.wire_bytes() + 13 < dense_payload) {
+        if (net::encoded_csr_bytes(csr) + 1 < dense_payload) {
           auto buf = with_prefix(kCsrDelta, net::encode_csr(csr));
           stats_.sent_bytes += buf.size();
           stats_.compressed_messages += 1;

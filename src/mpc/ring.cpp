@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace psml::mpc {
 
@@ -44,20 +45,26 @@ MatrixU64 ring_matmul(const MatrixU64& a, const MatrixU64& b) {
   PSML_REQUIRE(a.cols() == b.rows(), "ring_matmul: inner dims disagree");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   MatrixU64 c(m, n, 0);
-  constexpr std::size_t kKB = 128;
-  for (std::size_t kb = 0; kb < k; kb += kKB) {
-    const std::size_t kmax = std::min(kb + kKB, k);
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::uint64_t* ai = a.data() + i * k;
-      std::uint64_t* ci = c.data() + i * n;
-      for (std::size_t kk = kb; kk < kmax; ++kk) {
-        const std::uint64_t av = ai[kk];
-        if (av == 0) continue;
-        const std::uint64_t* bk = b.data() + kk * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bk[j];
-      }
-    }
-  }
+  // Packed-panel engine shared with the f32 GEMM path (branch-free: the seed
+  // kernel's `av == 0` skip is gone). Ring arithmetic is exact mod 2^64, so
+  // the 2-D tile parallelism cannot change results; the cutoff only avoids
+  // pool overhead on the small online-step multiplies.
+  tensor::detail::GemmArgsU64 g;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  g.alpha = 1;
+  g.beta = 0;
+  g.a = a.data();
+  g.a_rs = k;
+  g.a_cs = 1;
+  g.b = b.data();
+  g.b_rs = n;
+  g.b_cs = 1;
+  g.c = c.data();
+  g.ldc = n;
+  g.parallel = m * n * k >= (std::size_t{1} << 18);
+  tensor::detail::gemm_u64_auto(g);
   return c;
 }
 

@@ -33,7 +33,9 @@ MatrixF decode_fixed(const MatrixU64& v);
 MatrixU64 ring_add(const MatrixU64& a, const MatrixU64& b);
 MatrixU64 ring_sub(const MatrixU64& a, const MatrixU64& b);
 
-// C = A x B over Z_2^64, blocked ikj kernel.
+// C = A x B over Z_2^64 via the shared packed-panel engine (branch-free
+// 4x8-register-blocked microkernel, 2-D tile parallelism above a size
+// cutoff; exact mod-2^64 arithmetic makes execution order unobservable).
 MatrixU64 ring_matmul(const MatrixU64& a, const MatrixU64& b);
 
 // SecureML local truncation: arithmetic-shift each element right by

@@ -237,18 +237,27 @@ MatrixF refresh_share(PartyContext& ctx, const MatrixF& x_i) {
   profile::ScopedPhase sp(prof, "online.communicate");
   const net::Tag tag =
       tags::kControl + 0x200000u + (ctx.next_seq() & 0x000fffffu);
+  const bool par = ctx.options().cpu_parallel;
   if (ctx.id() == 0) {
     MatrixF fresh(x_i.rows(), x_i.cols());
     rng::fill_uniform_par(fresh, -kFloatMaskRadius, kFloatMaskRadius,
                           rng::random_seed());
     MatrixF masked;
-    tensor::sub(x_i, fresh, masked);
+    if (par) {
+      tensor::sub_par(x_i, fresh, masked);
+    } else {
+      tensor::sub(x_i, fresh, masked);
+    }
     net::send_matrix(ctx.peer(), tag, masked);
     return fresh;
   }
   MatrixF masked = net::recv_matrix_f32(ctx.peer(), tag);
   MatrixF out;
-  tensor::add(x_i, masked, out);
+  if (par) {
+    tensor::add_par(x_i, masked, out);
+  } else {
+    tensor::add(x_i, masked, out);
+  }
   return out;
 }
 

@@ -45,6 +45,18 @@ std::vector<std::uint8_t> encode_matrix(const MatrixU64& m) {
   return encode_dense(m, PayloadKind::kDenseU64);
 }
 
+std::size_t encoded_matrix_bytes(const MatrixF& m) {
+  return sizeof(MatrixHeader) + m.bytes();
+}
+
+std::size_t encoded_matrix_bytes(const MatrixU64& m) {
+  return sizeof(MatrixHeader) + m.bytes();
+}
+
+std::size_t encoded_csr_bytes(const psml::sparse::Csr& m) {
+  return sizeof(MatrixHeader) + m.wire_bytes();
+}
+
 std::vector<std::uint8_t> encode_csr(const psml::sparse::Csr& m) {
   auto body = m.serialize();
   std::vector<std::uint8_t> buf(sizeof(MatrixHeader) + body.size());

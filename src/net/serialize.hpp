@@ -25,6 +25,14 @@ std::vector<std::uint8_t> encode_matrix(const MatrixF& m);
 std::vector<std::uint8_t> encode_matrix(const MatrixU64& m);
 std::vector<std::uint8_t> encode_csr(const psml::sparse::Csr& m);
 
+// Exact encode_matrix / encode_csr output sizes without materializing the
+// buffer, derived from the same wire-header struct the encoders use. The
+// compression layer's dense-vs-CSR accounting uses these so its ratios can't
+// drift if the header layout changes.
+std::size_t encoded_matrix_bytes(const MatrixF& m);
+std::size_t encoded_matrix_bytes(const MatrixU64& m);
+std::size_t encoded_csr_bytes(const psml::sparse::Csr& m);
+
 // Decodes either a dense or CSR float payload into a dense matrix.
 MatrixF decode_matrix_f32(const std::uint8_t* data, std::size_t size);
 MatrixU64 decode_matrix_u64(const std::uint8_t* data, std::size_t size);

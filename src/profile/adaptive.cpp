@@ -36,12 +36,11 @@ double time_gpu_gemm(sgpu::Device& dev, const MatrixF& a, const MatrixF& b) {
 
 }  // namespace
 
-void AdaptiveDispatch::calibrate(sgpu::Device& dev) {
+void AdaptiveDispatch::calibrate(sgpu::Device& dev, std::size_t small_n,
+                                 std::size_t large_n) {
   // Two probe sizes per engine; the affine GPU model needs two points, the
-  // linear CPU model uses the larger probe only (less timer noise).
-  const std::size_t small_n = 96;
-  const std::size_t large_n = 384;
-
+  // linear CPU model uses the larger probe only (less timer noise). All the
+  // probe work runs without the lock — only the final publish takes it.
   MatrixF a_small(small_n, small_n), b_small(small_n, small_n);
   MatrixF a_large(large_n, large_n), b_large(large_n, large_n);
   rng::fill_uniform(a_small, -1.0f, 1.0f);
@@ -87,33 +86,52 @@ void AdaptiveDispatch::calibrate(sgpu::Device& dev) {
   m.gpu_sec_per_flop = std::max(0.0, (t_large - t_small) / (f_large - f_small));
   m.gpu_overhead_sec = std::max(0.0, t_small - m.gpu_sec_per_flop * f_small);
   m.calibrated = true;
+  m.kernel_revision = tensor::gemm_kernel_revision();
+  std::lock_guard<std::mutex> lock(mutex_);
   model_ = m;
 }
 
 DispatchDecision AdaptiveDispatch::decide(std::size_t m, std::size_t n,
                                           std::size_t k) const {
+  const Model snap = model();
   DispatchDecision d;
-  if (!model_.calibrated) {
-    // Uncalibrated fallback: a static flop threshold. 2^21 flops ~ a 128^3
-    // multiply, the regime where transfer overhead stops dominating.
+  if (!snap.calibrated ||
+      snap.kernel_revision != tensor::gemm_kernel_revision()) {
+    // Uncalibrated (or stale: the CPU kernel changed since the fit) fallback:
+    // a static flop threshold. 2^21 flops ~ a 128^3 multiply, the regime
+    // where transfer overhead stops dominating.
     d.use_gpu = flops_of(m, n, k) >= static_cast<double>(1 << 21);
     return d;
   }
   const double f = flops_of(m, n, k);
   const double bytes = moved_bytes(m, n, k);
-  d.est_cpu_sec = model_.cpu_sec_per_flop * f;
-  d.est_gpu_sec = model_.gpu_overhead_sec + model_.gpu_sec_per_flop * f +
-                  model_.gpu_sec_per_byte * bytes;
+  d.est_cpu_sec = snap.cpu_sec_per_flop * f;
+  d.est_gpu_sec = snap.gpu_overhead_sec + snap.gpu_sec_per_flop * f +
+                  snap.gpu_sec_per_byte * bytes;
   d.use_gpu = d.est_gpu_sec < d.est_cpu_sec;
   return d;
 }
 
+AdaptiveDispatch::Model AdaptiveDispatch::model() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_;
+}
+
+void AdaptiveDispatch::set_model(const Model& m) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_ = m;
+  model_.kernel_revision = tensor::gemm_kernel_revision();
+}
+
 AdaptiveDispatch& AdaptiveDispatch::global() {
-  static AdaptiveDispatch dispatch = [] {
-    AdaptiveDispatch d;
-    d.calibrate(sgpu::Device::global());
-    return d;
+  // Two-step init (the mutex member makes AdaptiveDispatch immovable): the
+  // calibration runs inside a thread-safe static initializer exactly once.
+  static AdaptiveDispatch dispatch;
+  static const bool calibrated = [] {
+    dispatch.calibrate(sgpu::Device::global());
+    return true;
   }();
+  (void)calibrated;
   return dispatch;
 }
 

@@ -1,9 +1,8 @@
 #include "tensor/gemm.hpp"
 
-#include <algorithm>
+#include <atomic>
 
-#include "common/thread_pool.hpp"
-#include "tensor/ops.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace psml::tensor {
 
@@ -16,39 +15,59 @@ std::size_t op_cols(const MatrixF& x, Trans t) {
   return t == Trans::kNo ? x.cols() : x.rows();
 }
 
-// Cache-blocked ikj kernel over plain row-major operands, rows [r0, r1).
-// Inner loop is over contiguous B/C rows, so it vectorizes.
-void gemm_rows(float alpha, const float* a, const float* b, float beta,
-               float* c, std::size_t r0, std::size_t r1, std::size_t n,
-               std::size_t k) {
-  constexpr std::size_t kKB = 256;  // k-block: A panel + B panel fit in L1/L2
-  constexpr std::size_t kJB = 512;  // j-block: C row segment stays in L1
+std::atomic<GemmIsa> g_isa{GemmIsa::kAuto};
+std::atomic<std::size_t> g_isa_revision{0};
 
-  for (std::size_t i = r0; i < r1; ++i) {
-    float* ci = c + i * n;
-    if (beta == 0.0f) {
-      std::fill(ci, ci + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
-    }
+bool resolve_simd() {
+  switch (g_isa.load(std::memory_order_relaxed)) {
+    case GemmIsa::kScalar:
+      return false;
+    case GemmIsa::kSimd:
+    case GemmIsa::kAuto:
+      break;
   }
-  for (std::size_t kb = 0; kb < k; kb += kKB) {
-    const std::size_t kmax = std::min(kb + kKB, k);
-    for (std::size_t jb = 0; jb < n; jb += kJB) {
-      const std::size_t jmax = std::min(jb + kJB, n);
-      for (std::size_t i = r0; i < r1; ++i) {
-        const float* ai = a + i * k;
-        float* ci = c + i * n;
-        for (std::size_t kk = kb; kk < kmax; ++kk) {
-          const float av = alpha * ai[kk];
-          if (av == 0.0f) continue;
-          const float* bk = b + kk * n;
-          for (std::size_t j = jb; j < jmax; ++j) {
-            ci[j] += av * bk[j];
-          }
-        }
-      }
-    }
+  return detail::cpu_has_avx2_fma();
+}
+
+// Fills the strided-view fields of `g` for one operand pair. A transposed
+// operand is handled by swapping the view strides — the packing routines do
+// the gather, so there is no transpose copy.
+detail::GemmArgsF32 make_args(float alpha, const MatrixF& a, Trans ta,
+                              const MatrixF& b, Trans tb, float beta,
+                              MatrixF& c, const GemmDims& d, bool parallel) {
+  detail::GemmArgsF32 g;
+  g.m = d.m;
+  g.n = d.n;
+  g.k = d.k;
+  g.alpha = alpha;
+  g.beta = beta;
+  g.a = a.data();
+  if (ta == Trans::kNo) {
+    g.a_rs = a.cols();  // storage m x k
+    g.a_cs = 1;
+  } else {
+    g.a_rs = 1;         // storage k x m
+    g.a_cs = a.cols();
+  }
+  g.b = b.data();
+  if (tb == Trans::kNo) {
+    g.b_rs = b.cols();  // storage k x n
+    g.b_cs = 1;
+  } else {
+    g.b_rs = 1;         // storage n x k
+    g.b_cs = b.cols();
+  }
+  g.c = c.data();
+  g.ldc = d.n;
+  g.parallel = parallel;
+  return g;
+}
+
+void run_packed(const detail::GemmArgsF32& g) {
+  if (resolve_simd()) {
+    detail::gemm_f32_simd(g);
+  } else {
+    detail::gemm_f32_scalar(g);
   }
 }
 
@@ -76,58 +95,26 @@ void gemm_naive(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
         const float bv = tb == Trans::kNo ? b(kk, j) : b(j, kk);
         acc += av * bv;
       }
-      c(i, j) = alpha * acc + beta * c(i, j);
+      // beta == 0 overwrites (BLAS semantics) so stale C contents — including
+      // NaN in freshly "allocated" buffers — never leak into the result.
+      c(i, j) = beta == 0.0f ? alpha * acc : alpha * acc + beta * c(i, j);
     }
   }
 }
 
 void gemm_blocked(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
                   Trans tb, float beta, MatrixF& c) {
-  const auto [m, n, k] = gemm_dims(a, ta, b, tb, c);
-  // Normalize to non-transposed row-major operands; the transpose copy is
-  // O(mk + kn) against the O(mnk) multiply.
-  const MatrixF* ap = &a;
-  const MatrixF* bp = &b;
-  MatrixF at, bt;
-  if (ta == Trans::kYes) {
-    at = transpose(a);
-    ap = &at;
-  }
-  if (tb == Trans::kYes) {
-    bt = transpose(b);
-    bp = &bt;
-  }
-  gemm_rows(alpha, ap->data(), bp->data(), beta, c.data(), 0, m, n, k);
+  const GemmDims d = gemm_dims(a, ta, b, tb, c);
+  run_packed(make_args(alpha, a, ta, b, tb, beta, c, d, /*parallel=*/false));
 }
 
 void gemm_parallel(float alpha, const MatrixF& a, Trans ta, const MatrixF& b,
                    Trans tb, float beta, MatrixF& c) {
-  const auto [m, n, k] = gemm_dims(a, ta, b, tb, c);
-  const MatrixF* ap = &a;
-  const MatrixF* bp = &b;
-  MatrixF at, bt;
-  if (ta == Trans::kYes) {
-    at = transpose(a);
-    ap = &at;
-  }
-  if (tb == Trans::kYes) {
-    bt = transpose(b);
-    bp = &bt;
-  }
-  // Small problems: parallel launch overhead dominates.
-  if (m * n * k < (std::size_t{1} << 18)) {
-    gemm_rows(alpha, ap->data(), bp->data(), beta, c.data(), 0, m, n, k);
-    return;
-  }
-  const float* pa = ap->data();
-  const float* pb = bp->data();
-  float* pc = c.data();
-  parallel_for(
-      0, m,
-      [=](std::size_t lo, std::size_t hi) {
-        gemm_rows(alpha, pa, pb, beta, pc, lo, hi, n, k);
-      },
-      /*grain=*/4);
+  const GemmDims d = gemm_dims(a, ta, b, tb, c);
+  // Small problems: parallel launch overhead dominates. The serial engine is
+  // bit-identical, so the cutoff is invisible to results.
+  const bool parallel = d.m * d.n * d.k >= (std::size_t{1} << 18);
+  run_packed(make_args(alpha, a, ta, b, tb, beta, c, d, parallel));
 }
 
 MatrixF matmul(const MatrixF& a, const MatrixF& b) {
@@ -140,6 +127,35 @@ MatrixF matmul_naive(const MatrixF& a, const MatrixF& b) {
   MatrixF c(a.rows(), b.cols());
   gemm_naive(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
   return c;
+}
+
+namespace detail {
+void gemm_u64_auto(const GemmArgsU64& g) {
+  if (!resolve_simd()) {
+    gemm_u64_scalar(g);
+  } else if (cpu_has_avx512dq()) {
+    gemm_u64_avx512(g);
+  } else {
+    gemm_u64_simd(g);
+  }
+}
+}  // namespace detail
+
+void set_gemm_isa(GemmIsa isa) {
+  g_isa.store(isa, std::memory_order_relaxed);
+  g_isa_revision.fetch_add(1, std::memory_order_relaxed);
+}
+
+GemmIsa gemm_isa() { return g_isa.load(std::memory_order_relaxed); }
+
+bool gemm_simd_available() { return detail::cpu_has_avx2_fma(); }
+
+const char* gemm_kernel_name() {
+  return resolve_simd() ? "avx2fma-6x16" : "scalar-6x16";
+}
+
+std::size_t gemm_kernel_revision() {
+  return g_isa_revision.load(std::memory_order_relaxed);
 }
 
 }  // namespace psml::tensor

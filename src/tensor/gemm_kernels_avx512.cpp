@@ -1,0 +1,87 @@
+// AVX-512DQ instantiation of the packed engine for the u64 ring kernel.
+//
+// The ring multiply wants the low 64 bits of a 64x64 product mod 2^64. AVX2
+// has no 64-bit vector multiply, so the AVX2 tier decomposes it into three
+// 32x32 vpmuludq cross products (~1.4x the seed kernel); AVX-512DQ's vpmullq
+// does it in one instruction over 8 lanes, which is where the ring kernel's
+// >= 2x target comes from. f32 stays on the AVX2/FMA tier on purpose: it
+// already saturates there, and 512-bit f32 tiles would only add frequency-
+// throttling risk for no measured win.
+//
+// Built with -mavx512f -mavx512dq (see CMakeLists.txt); reached only through
+// cpu_has_avx512dq() dispatch in gemm.cpp.
+#include "tensor/gemm_kernel.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace psml::tensor::detail {
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+namespace {
+
+// 4x8 u64 microkernel: one zmm per B step, four broadcast/fma-style chains.
+void micro_u64_avx512(std::size_t kc, const std::uint64_t* ap,
+                      const std::uint64_t* bp, std::uint64_t* c,
+                      std::size_t ldc, std::size_t mr, std::size_t nr,
+                      std::uint64_t alpha, std::uint64_t beta) {
+  constexpr std::size_t MR = TilePlan<std::uint64_t>::MR;
+  constexpr std::size_t NR = TilePlan<std::uint64_t>::NR;
+  static_assert(NR == 8, "u64 micro tile must be one zmm wide");
+  __m512i acc[MR];
+  for (std::size_t i = 0; i < MR; ++i) acc[i] = _mm512_setzero_si512();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m512i b =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(bp + p * NR));
+    const std::uint64_t* a = ap + p * MR;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const __m512i av = _mm512_set1_epi64(static_cast<long long>(a[i]));
+      acc[i] = _mm512_add_epi64(acc[i], _mm512_mullo_epi64(av, b));
+    }
+  }
+  const __m512i va = _mm512_set1_epi64(static_cast<long long>(alpha));
+  if (mr == MR && nr == NR) {
+    if (beta == 0) {
+      for (std::size_t i = 0; i < MR; ++i) {
+        _mm512_storeu_si512(reinterpret_cast<void*>(c + i * ldc),
+                            _mm512_mullo_epi64(va, acc[i]));
+      }
+    } else {
+      const __m512i vb = _mm512_set1_epi64(static_cast<long long>(beta));
+      for (std::size_t i = 0; i < MR; ++i) {
+        void* ci = reinterpret_cast<void*>(c + i * ldc);
+        const __m512i cv = _mm512_loadu_si512(ci);
+        _mm512_storeu_si512(
+            ci, _mm512_add_epi64(_mm512_mullo_epi64(va, acc[i]),
+                                 _mm512_mullo_epi64(vb, cv)));
+      }
+    }
+    return;
+  }
+  alignas(kCacheLineBytes) std::uint64_t buf[MR][NR];
+  for (std::size_t i = 0; i < MR; ++i) {
+    _mm512_store_si512(reinterpret_cast<void*>(buf[i]), acc[i]);
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    for (std::size_t j = 0; j < nr; ++j) {
+      std::uint64_t& out = c[i * ldc + j];
+      out = beta == 0 ? alpha * buf[i][j] : alpha * buf[i][j] + beta * out;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_u64_avx512(const GemmArgsU64& g) {
+  packed_gemm<std::uint64_t>(g, micro_u64_avx512);
+}
+
+#else  // ISA flags unavailable: alias the AVX2-tier path
+
+void gemm_u64_avx512(const GemmArgsU64& g) { gemm_u64_simd(g); }
+
+#endif
+
+}  // namespace psml::tensor::detail

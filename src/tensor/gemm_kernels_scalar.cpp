@@ -1,0 +1,36 @@
+// Portable instantiation of the packed-GEMM engine: baseline codegen (no ISA
+// flags beyond the project defaults), used on CPUs without AVX2/FMA and when
+// tests force GemmIsa::kScalar to cross-check the SIMD path.
+#include "tensor/gemm_kernel.hpp"
+
+namespace psml::tensor::detail {
+
+void gemm_f32_scalar(const GemmArgsF32& g) {
+  packed_gemm<float>(
+      g, micro_kernel_generic<float, TilePlan<float>::MR, TilePlan<float>::NR>);
+}
+
+void gemm_u64_scalar(const GemmArgsU64& g) {
+  packed_gemm<std::uint64_t>(
+      g, micro_kernel_generic<std::uint64_t, TilePlan<std::uint64_t>::MR,
+                              TilePlan<std::uint64_t>::NR>);
+}
+
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512dq() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
+}  // namespace psml::tensor::detail

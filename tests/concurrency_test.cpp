@@ -19,6 +19,7 @@
 #include "net/local_channel.hpp"
 #include "net/tcp_channel.hpp"
 #include "pipeline/async_lane.hpp"
+#include "profile/adaptive.hpp"
 #include "sgpu/stream.hpp"
 
 namespace psml {
@@ -220,6 +221,40 @@ TEST(LocalChannelHammer, CloseRacingBlockedRecv) {
     pair.b->close();
     receiver.join();
   }
+}
+
+TEST(AdaptiveDispatchHammer, DecideRacingCalibrate) {
+  // Regression for the unsynchronized model_ publication: decide() used to
+  // read the model fields while calibrate() was mid-assignment, so readers
+  // could observe a torn model (calibrated == true with a half-written fit).
+  // Now the model is a mutex-guarded snapshot; this drives both sides hard
+  // enough that any reintroduced race is a TSan report and any torn read
+  // shows up as a nonsensical estimate.
+  profile::AdaptiveDispatch d;
+  sgpu::Device& dev = sgpu::Device::global();
+  std::atomic<bool> go{true};
+  std::vector<std::thread> deciders;
+  for (int t = 0; t < 3; ++t) {
+    deciders.emplace_back([&] {
+      while (go.load()) {
+        const auto dec = d.decide(256, 256, 256);
+        // A published model is always internally consistent: estimates are
+        // finite and non-negative (zero while uncalibrated/stale).
+        ASSERT_GE(dec.est_cpu_sec, 0.0);
+        ASSERT_GE(dec.est_gpu_sec, 0.0);
+        const auto snap = d.model();
+        if (snap.calibrated) {
+          ASSERT_GT(snap.cpu_sec_per_flop, 0.0);
+        }
+      }
+    });
+  }
+  // Tiny probe sizes keep each calibration cheap; ~20 rounds still spans
+  // many decide() iterations per publication.
+  for (int round = 0; round < 20; ++round) d.calibrate(dev, 16, 32);
+  go.store(false);
+  for (auto& t : deciders) t.join();
+  EXPECT_TRUE(d.model().calibrated);
 }
 
 TEST(TcpChannelHammer, CloseRacingBlockedRecv) {

@@ -101,6 +101,53 @@ TEST(RingMatmul, TripletShapeMismatchThrows) {
       InvalidArgument);
 }
 
+TEST(RingMatmul, WraparoundMatchesReferenceTripleLoop) {
+  // The packed u64 engine must compute exact mod-2^64 products even when
+  // every partial product overflows: seed values sit near 2^63 and 2^64 - 1.
+  // Ragged shapes straddle the 4x8 register tile and 64/192/256 cache blocks.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  const Shape shapes[] = {{1, 1, 1}, {3, 5, 7}, {4, 8, 8}, {65, 193, 9},
+                          {17, 400, 33}};
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    // splitmix64 — deterministic fill, no library RNG needed in tests.
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  // Exercise both the forced-scalar tier and whatever SIMD tier dispatch
+  // picks on this machine; restore auto selection on exit even when an
+  // assertion bails out of the loop early.
+  struct IsaGuard {
+    ~IsaGuard() { tensor::set_gemm_isa(tensor::GemmIsa::kAuto); }
+  } guard;
+  for (const auto isa : {tensor::GemmIsa::kScalar, tensor::GemmIsa::kAuto}) {
+    tensor::set_gemm_isa(isa);
+    for (const auto& s : shapes) {
+      MatrixU64 a(s.m, s.k), b(s.k, s.n);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        // Bias toward the wraparound-heavy top of the ring.
+        a.data()[i] = (std::uint64_t{1} << 63) + (next() >> 1);
+      }
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        b.data()[i] = ~std::uint64_t{0} - (next() >> 32);
+      }
+      const MatrixU64 c = ring_matmul(a, b);
+      for (std::size_t i = 0; i < s.m; ++i) {
+        for (std::size_t j = 0; j < s.n; ++j) {
+          std::uint64_t acc = 0;
+          for (std::size_t kk = 0; kk < s.k; ++kk) acc += a(i, kk) * b(kk, j);
+          ASSERT_EQ(acc, c(i, j)) << "m" << s.m << "k" << s.k << "n" << s.n
+                                  << " at (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
 TEST(RingMatmul, MaskingIsUniform) {
   // The opened value E = A - U must be uniformly distributed regardless of
   // A: with U uniform over the ring, a constant A cannot show through. Check

@@ -3,6 +3,7 @@
 
 #include "profile/adaptive.hpp"
 #include "profile/profiler.hpp"
+#include "tensor/gemm.hpp"
 
 namespace psml::profile {
 namespace {
@@ -77,6 +78,26 @@ TEST(Adaptive, ManualModelRespected) {
   EXPECT_FALSE(d.decide(8, 8, 8).use_gpu);
   // 2*2048^3 ~ 1.7e10 flops: CPU ~17s, GPU ~0.17s -> GPU wins.
   EXPECT_TRUE(d.decide(2048, 2048, 2048).use_gpu);
+}
+
+TEST(Adaptive, KernelChangeStalesModelUntilRecalibration) {
+  // Changing the GEMM kernel selection (tensor::set_gemm_isa) invalidates the
+  // fitted CPU slope: decide() must fall back to the static threshold until
+  // recalibrate() refits against the new kernel.
+  AdaptiveDispatch d;
+  d.calibrate(sgpu::Device::global(), 16, 32);
+  ASSERT_TRUE(d.model().calibrated);
+  EXPECT_GT(d.decide(256, 256, 256).est_cpu_sec, 0.0);
+
+  tensor::set_gemm_isa(tensor::gemm_isa());  // same ISA, but bumps revision
+  // Stale: estimates revert to the static-threshold fallback (zeros).
+  EXPECT_DOUBLE_EQ(d.decide(256, 256, 256).est_cpu_sec, 0.0);
+  EXPECT_FALSE(d.decide(8, 8, 8).use_gpu);
+  EXPECT_TRUE(d.decide(1024, 1024, 1024).use_gpu);
+
+  d.recalibrate(sgpu::Device::global());
+  EXPECT_TRUE(d.model().calibrated);
+  EXPECT_GT(d.decide(256, 256, 256).est_cpu_sec, 0.0);
 }
 
 TEST(Adaptive, CrossoverExistsWithOverheadModel) {
