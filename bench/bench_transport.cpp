@@ -1,0 +1,299 @@
+// Transport data-path throughput: zero-copy scatter-gather vs the seed
+// flatten-and-copy path, over LocalChannel and loopback TCP, plus CRC32 /
+// CRC32C kernel throughput (table vs hardware tier).
+//
+//   bench_transport                          human-readable report
+//   bench_transport --emit-comm-baseline[=PATH] [--smoke]
+//                                            machine-readable BENCH_comm.json
+//
+// The "seed" mode reproduces the pre-WireBuf data path: the matrix is
+// flattened into one heap payload per message (net::encode_matrix) and the
+// frame checksum uses the table CRC tier — exactly what the seed transport
+// did. The "zerocopy" mode is the current path: net::send_matrix appends the
+// matrix storage as a borrowed view (no payload materialization) and the CRC
+// kernel is runtime-dispatched (SSE4.2 / PCLMUL where available).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/crc32.hpp"
+#include "common/timer.hpp"
+#include "net/buffer_pool.hpp"
+#include "net/local_channel.hpp"
+#include "net/serialize.hpp"
+#include "net/tcp_channel.hpp"
+#include "net/wire_buf.hpp"
+#include "rng/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace {
+
+using namespace psml;
+
+MatrixF rand_mat(std::size_t r, std::size_t c, std::uint64_t seed) {
+  MatrixF m(r, c);
+  rng::fill_uniform_par(m, -1.0f, 1.0f, seed);
+  return m;
+}
+
+struct Rate {
+  double msgs_per_s = 0.0;
+  double gbps = 0.0;  // payload GB/s (decimal)
+};
+
+// One-directional stream of `reps` matrices from tx to rx; the receiver
+// decodes every message, so the measured rate includes the full
+// encode->frame->deliver->decode path.
+Rate run_stream(net::Channel& tx, net::Channel& rx, const MatrixF& m,
+                int reps, bool seed_path) {
+  const net::Tag tag = 7;
+  const std::size_t wire_bytes = net::encoded_matrix_bytes(m);
+  Timer t;
+  std::thread sender([&] {
+    for (int r = 0; r < reps; ++r) {
+      if (seed_path) {
+        // Seed emulation: one full payload materialization per message.
+        net::WireBuf buf;
+        buf.append_vector(net::encode_matrix(m));
+        tx.send(tag, std::move(buf));
+      } else {
+        net::send_matrix(tx, tag, m);
+      }
+    }
+  });
+  for (int r = 0; r < reps; ++r) {
+    MatrixF got = net::recv_matrix_f32(rx, tag);
+    if (got.rows() != m.rows()) std::abort();  // keep the decode live
+  }
+  sender.join();
+  const double sec = t.seconds();
+  Rate out;
+  out.msgs_per_s = reps / sec;
+  out.gbps = static_cast<double>(wire_bytes) * reps / sec / 1e9;
+  return out;
+}
+
+struct StreamResult {
+  std::size_t rows = 0, cols = 0;
+  int reps = 0;
+  Rate seed, zc;
+  double speedup() const {
+    return seed.gbps > 0.0 ? zc.gbps / seed.gbps : 0.0;
+  }
+};
+
+// Seed transports checksummed with the table CRC tier; the zero-copy path
+// uses the dispatched hardware tier. Forcing the ISA per mode makes the two
+// configurations faithful end-to-end.
+StreamResult bench_pair(net::Channel& a, net::Channel& b, std::size_t n,
+                        int reps) {
+  StreamResult r;
+  r.rows = r.cols = n;
+  r.reps = reps;
+  const MatrixF m = rand_mat(n, n, 0x9e3779b9ull + n);
+  set_crc32_isa(Crc32Isa::kTable);
+  run_stream(a, b, m, 2, true);  // warm-up
+  r.seed = run_stream(a, b, m, reps, true);
+  set_crc32_isa(Crc32Isa::kAuto);
+  run_stream(a, b, m, 2, false);
+  r.zc = run_stream(a, b, m, reps, false);
+  return r;
+}
+
+int reps_for(std::size_t n, bool smoke) {
+  const double target = (smoke ? 8.0 : 192.0) * 1024 * 1024;
+  const double bytes = static_cast<double>(n) * n * 4;
+  const int reps = static_cast<int>(target / bytes);
+  return std::max(4, std::min(reps, 512));
+}
+
+struct CrcResult {
+  const char* algo;
+  const char* kernel;
+  std::size_t bytes = 0;
+  double table_gbps = 0.0;
+  double hw_gbps = 0.0;
+  double speedup() const {
+    return table_gbps > 0.0 ? hw_gbps / table_gbps : 0.0;
+  }
+};
+
+double crc_gbps(std::uint32_t (*fn)(const void*, std::size_t, std::uint32_t),
+                const std::vector<std::uint8_t>& buf, int passes) {
+  volatile std::uint32_t sink = 0;
+  // warm-up
+  sink = fn(buf.data(), buf.size(), sink);
+  double best = 0.0;
+  for (int p = 0; p < passes; ++p) {
+    Timer t;
+    sink = fn(buf.data(), buf.size(), sink);
+    const double g = static_cast<double>(buf.size()) / t.seconds() / 1e9;
+    if (g > best) best = g;
+  }
+  (void)sink;
+  return best;
+}
+
+CrcResult bench_crc(bool c_variant, bool smoke) {
+  std::vector<std::uint8_t> buf((smoke ? 2u : 16u) << 20);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  }
+  const int passes = smoke ? 3 : 8;
+  CrcResult r;
+  r.algo = c_variant ? "crc32c" : "crc32";
+  r.bytes = buf.size();
+  auto fn = c_variant ? &psml::crc32c : &psml::crc32;
+  set_crc32_isa(Crc32Isa::kTable);
+  r.table_gbps = crc_gbps(fn, buf, passes);
+  set_crc32_isa(Crc32Isa::kAuto);
+  r.hw_gbps = crc_gbps(fn, buf, passes);
+  r.kernel = c_variant ? crc32c_kernel_name() : crc32_kernel_name();
+  return r;
+}
+
+void print_stream_table(const char* transport,
+                        const std::vector<StreamResult>& rows) {
+  std::printf("\n%s f32 matrix stream (payload GB/s, decimal):\n", transport);
+  std::printf("  %-10s %6s %12s %12s %12s %12s %8s\n", "shape", "reps",
+              "seed msg/s", "seed GB/s", "zc msg/s", "zc GB/s", "speedup");
+  for (const StreamResult& r : rows) {
+    std::printf("  %4zux%-5zu %6d %12.0f %12.3f %12.0f %12.3f %7.2fx\n",
+                r.rows, r.cols, r.reps, r.seed.msgs_per_s, r.seed.gbps,
+                r.zc.msgs_per_s, r.zc.gbps, r.speedup());
+  }
+}
+
+int emit_comm_baseline(const std::string& path, bool smoke,
+                       const std::vector<StreamResult>& local,
+                       const std::vector<StreamResult>& tcp,
+                       const std::vector<CrcResult>& crc) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"psml-comm-baseline-v1\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"crc32_kernel\": \"%s\",\n", crc32_kernel_name());
+  std::fprintf(out, "  \"crc32c_kernel\": \"%s\",\n", crc32c_kernel_name());
+  std::fprintf(out, "  \"crc\": [\n");
+  for (std::size_t i = 0; i < crc.size(); ++i) {
+    const CrcResult& r = crc[i];
+    std::fprintf(out,
+                 "    {\"algo\": \"%s\", \"kernel\": \"%s\", \"bytes\": %zu,\n"
+                 "     \"table_gbps\": %.3f, \"hw_gbps\": %.3f, "
+                 "\"speedup_hw_vs_table\": %.3f}%s\n",
+                 r.algo, r.kernel, r.bytes, r.table_gbps, r.hw_gbps,
+                 r.speedup(), i + 1 < crc.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  const auto emit_rows = [&](const char* key,
+                             const std::vector<StreamResult>& rows,
+                             bool last) {
+    std::fprintf(out, "  \"%s\": [\n", key);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const StreamResult& r = rows[i];
+      std::fprintf(
+          out,
+          "    {\"rows\": %zu, \"cols\": %zu, \"reps\": %d,\n"
+          "     \"seed_msgs_per_s\": %.1f, \"seed_gbps\": %.3f,\n"
+          "     \"zc_msgs_per_s\": %.1f, \"zc_gbps\": %.3f,\n"
+          "     \"speedup_zc_vs_seed\": %.3f}%s\n",
+          r.rows, r.cols, r.reps, r.seed.msgs_per_s, r.seed.gbps,
+          r.zc.msgs_per_s, r.zc.gbps, r.speedup(),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]%s\n", last ? "" : ",");
+  };
+  emit_rows("local", local, false);
+  emit_rows("tcp", tcp, true);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit = false, smoke = false;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--emit-comm-baseline") == 0) {
+      emit = true;
+      baseline_path = "BENCH_comm.json";
+    } else if (std::strncmp(arg, "--emit-comm-baseline=", 21) == 0) {
+      emit = true;
+      baseline_path = arg + 21;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_transport [--emit-comm-baseline[=PATH]] "
+                   "[--smoke]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64, 256}
+            : std::vector<std::size_t>{64, 128, 256, 512, 1024};
+
+  bench::header("BENCH_comm", "transport data-path throughput");
+  std::printf("crc32 kernel: %s   crc32c kernel: %s\n", crc32_kernel_name(),
+              crc32c_kernel_name());
+
+  // CRC kernel throughput.
+  std::vector<CrcResult> crc;
+  crc.push_back(bench_crc(false, smoke));
+  crc.push_back(bench_crc(true, smoke));
+  std::printf("\nCRC kernel throughput (%zu MiB buffer):\n",
+              crc[0].bytes >> 20);
+  for (const CrcResult& r : crc) {
+    std::printf("  %-7s table %7.3f GB/s   %-6s %7.3f GB/s   %6.2fx\n",
+                r.algo, r.table_gbps, r.kernel, r.hw_gbps, r.speedup());
+  }
+
+  // LocalChannel.
+  std::vector<StreamResult> local;
+  {
+    auto pair = net::LocalChannel::make_pair();
+    for (std::size_t n : sizes) {
+      local.push_back(bench_pair(*pair.a, *pair.b, n, reps_for(n, smoke)));
+    }
+  }
+  print_stream_table("LocalChannel", local);
+
+  // Loopback TCP.
+  std::vector<StreamResult> tcp;
+  {
+    const std::uint16_t port = 39353;
+    std::shared_ptr<net::Channel> server;
+    std::thread listener([&] { server = net::TcpChannel::listen(port); });
+    auto client = net::TcpChannel::connect("127.0.0.1", port, 10.0);
+    listener.join();
+    for (std::size_t n : sizes) {
+      tcp.push_back(bench_pair(*client, *server, n, reps_for(n, smoke)));
+    }
+    client->close();
+    server->close();
+  }
+  print_stream_table("loopback TCP", tcp);
+
+  const auto pm = net::BufferPool::global().metrics();
+  std::printf("\nbuffer pool: hits=%llu misses=%llu drops=%llu held=%llu B\n",
+              static_cast<unsigned long long>(pm.hits),
+              static_cast<unsigned long long>(pm.misses),
+              static_cast<unsigned long long>(pm.drops),
+              static_cast<unsigned long long>(pm.bytes_held));
+
+  set_crc32_isa(Crc32Isa::kAuto);
+  if (emit) return emit_comm_baseline(baseline_path, smoke, local, tcp, crc);
+  return 0;
+}

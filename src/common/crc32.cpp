@@ -1,0 +1,157 @@
+// Runtime dispatch and the portable slicing-by-8 tier for both CRC
+// polynomials. The hardware kernels live in their own TUs (crc32_sse42.cpp,
+// crc32_pclmul.cpp) so only those files carry vector ISA flags — this file
+// must stay buildable for baseline x86-64 and non-x86.
+
+#include "common/crc32.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace psml {
+
+namespace detail {
+
+// Implemented in the per-ISA TUs. Each returns the finished (post-inversion)
+// CRC so the dispatch layer can chain tiers freely; on builds without the
+// ISA the TU aliases the portable tier.
+std::uint32_t crc32_pclmul(const void* data, std::size_t len,
+                           std::uint32_t seed);
+std::uint32_t crc32c_sse42(const void* data, std::size_t len,
+                           std::uint32_t seed);
+bool cpu_has_pclmul();
+bool cpu_has_sse42();
+
+namespace {
+
+// Slicing-by-8: tables[k][b] is the CRC of byte b followed by k zero bytes,
+// letting the loop fold 8 input bytes per iteration with two 32-bit loads.
+struct SliceTables {
+  std::uint32_t t[8][256];
+
+  explicit SliceTables(const std::array<std::uint32_t, 256>& byte_table) {
+    for (int i = 0; i < 256; ++i) t[0][i] = byte_table[static_cast<std::size_t>(i)];
+    for (int k = 1; k < 8; ++k) {
+      for (int i = 0; i < 256; ++i) {
+        const std::uint32_t c = t[k - 1][i];
+        t[k][i] = t[0][c & 0xffu] ^ (c >> 8);
+      }
+    }
+  }
+};
+
+std::uint32_t crc_slice8(const SliceTables& s, const void* data,
+                         std::size_t len, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = s.t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+    --len;
+  }
+  while (len >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = s.t[7][lo & 0xffu] ^ s.t[6][(lo >> 8) & 0xffu] ^
+        s.t[5][(lo >> 16) & 0xffu] ^ s.t[4][lo >> 24] ^ s.t[3][hi & 0xffu] ^
+        s.t[2][(hi >> 8) & 0xffu] ^ s.t[1][(hi >> 16) & 0xffu] ^
+        s.t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+#endif
+  while (len-- > 0) {
+    c = s.t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+const SliceTables& ieee_slices() {
+  static const SliceTables s(kCrc32Table);
+  return s;
+}
+const SliceTables& castagnoli_slices() {
+  static const SliceTables s(kCrc32cTable);
+  return s;
+}
+
+std::atomic<Crc32Isa> g_isa{Crc32Isa::kAuto};
+
+}  // namespace
+}  // namespace detail
+
+void set_crc32_isa(Crc32Isa isa) {
+  detail::g_isa.store(isa, std::memory_order_relaxed);
+}
+
+Crc32Isa crc32_isa() { return detail::g_isa.load(std::memory_order_relaxed); }
+
+bool crc32_hw_available() { return detail::cpu_has_pclmul(); }
+bool crc32c_hw_available() { return detail::cpu_has_sse42(); }
+
+namespace {
+
+// Resolves the forced/auto setting against CPU capability for one
+// polynomial; `hw` says whether that polynomial's hardware tier exists here.
+Crc32Isa resolve(bool hw) {
+  switch (detail::g_isa.load(std::memory_order_relaxed)) {
+    case Crc32Isa::kTable:
+      return Crc32Isa::kTable;
+    case Crc32Isa::kSlice8:
+      return Crc32Isa::kSlice8;
+    case Crc32Isa::kHw:
+    case Crc32Isa::kAuto:
+      break;
+  }
+  return hw ? Crc32Isa::kHw : Crc32Isa::kSlice8;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  switch (resolve(detail::cpu_has_pclmul())) {
+    case Crc32Isa::kHw:
+      return detail::crc32_pclmul(data, len, seed);
+    case Crc32Isa::kSlice8:
+      return detail::crc_slice8(detail::ieee_slices(), data, len, seed);
+    default:
+      return crc32_table(data, len, seed);
+  }
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  switch (resolve(detail::cpu_has_sse42())) {
+    case Crc32Isa::kHw:
+      return detail::crc32c_sse42(data, len, seed);
+    case Crc32Isa::kSlice8:
+      return detail::crc_slice8(detail::castagnoli_slices(), data, len, seed);
+    default:
+      return crc32c_table(data, len, seed);
+  }
+}
+
+const char* crc32_kernel_name() {
+  switch (resolve(detail::cpu_has_pclmul())) {
+    case Crc32Isa::kHw:
+      return "pclmul";
+    case Crc32Isa::kSlice8:
+      return "slice8";
+    default:
+      return "table";
+  }
+}
+
+const char* crc32c_kernel_name() {
+  switch (resolve(detail::cpu_has_sse42())) {
+    case Crc32Isa::kHw:
+      return "sse42";
+    case Crc32Isa::kSlice8:
+      return "slice8";
+    default:
+      return "table";
+  }
+}
+
+}  // namespace psml

@@ -1,10 +1,30 @@
-// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) and CRC-32C (Castagnoli,
+// reflected 0x82F63B78) with runtime-dispatched hardware kernels.
 //
 // Used by the transport layer to checksum frame headers and payloads so a
 // corrupt or truncated stream is detected as a typed NetworkError instead of
 // being delivered to the protocol. Not cryptographic — it protects against
 // accidental corruption, not an adversary (the MPC threat model already
 // assumes semi-honest parties on the wire).
+//
+// Three implementation tiers per polynomial, selected at runtime (the PR 4
+// TU-per-ISA pattern: only crc32_sse42.cpp / crc32_pclmul.cpp are built with
+// vector ISA flags, and they are reached solely through __builtin_cpu_supports
+// dispatch, so the library still runs on baseline x86-64 and non-x86):
+//
+//   table   byte-at-a-time table walk — the seed implementation, kept as the
+//           reference oracle and the portability floor
+//   slice8  slicing-by-8 (8 tables, one 64-bit load per step) — portable,
+//           ~4x the table tier
+//   hw      CRC-32C: the SSE4.2 crc32q instruction (~1 byte/cycle/lane);
+//           CRC-32: PCLMUL 4-way 128-bit folding per the Intel CRC paper
+//
+// All entry points share the same chaining convention: pass a previous
+// result as `seed` to extend a checksum over discontiguous buffers
+// (crc(A||B) == crc(B, len_b, crc(A, len_a))).
+//
+// The wire uses CRC-32 for frame headers unconditionally and negotiates
+// CRC-32C for payloads in the "PSMH" hello (see net/tcp_channel.hpp).
 #pragma once
 
 #include <array>
@@ -15,12 +35,12 @@ namespace psml {
 
 namespace detail {
 
-constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+constexpr std::array<std::uint32_t, 256> make_crc_table(std::uint32_t poly) {
   std::array<std::uint32_t, 256> table{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      c = (c & 1u) ? (poly ^ (c >> 1)) : (c >> 1);
     }
     table[i] = c;
   }
@@ -28,20 +48,52 @@ constexpr std::array<std::uint32_t, 256> make_crc32_table() {
 }
 
 inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
-    make_crc32_table();
+    make_crc_table(0xedb88320u);
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc_table(0x82f63b78u);
 
-}  // namespace detail
-
-// One-shot / chainable CRC-32. Pass a previous result as `seed` to extend a
-// checksum over discontiguous buffers.
-inline std::uint32_t crc32(const void* data, std::size_t len,
-                           std::uint32_t seed = 0) {
+inline std::uint32_t crc_table_walk(
+    const std::array<std::uint32_t, 256>& table, const void* data,
+    std::size_t len, std::uint32_t seed) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   std::uint32_t c = seed ^ 0xffffffffu;
   for (std::size_t i = 0; i < len; ++i) {
-    c = detail::kCrc32Table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }
+
+}  // namespace detail
+
+// Reference byte-at-a-time tiers (always available, any alignment/length).
+inline std::uint32_t crc32_table(const void* data, std::size_t len,
+                                 std::uint32_t seed = 0) {
+  return detail::crc_table_walk(detail::kCrc32Table, data, len, seed);
+}
+inline std::uint32_t crc32c_table(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0) {
+  return detail::crc_table_walk(detail::kCrc32cTable, data, len, seed);
+}
+
+// Dispatched entry points: fastest tier the CPU supports (or the forced one).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+// Forced-ISA override for tests and benchmarks. kAuto picks the best
+// available tier; forcing a tier the CPU lacks silently falls back to the
+// best one below it (kHw -> kSlice8 -> kTable), mirroring set_gemm_isa.
+enum class Crc32Isa { kAuto, kTable, kSlice8, kHw };
+void set_crc32_isa(Crc32Isa isa);
+Crc32Isa crc32_isa();
+
+// Resolved kernel names for the current setting, e.g. "pclmul" / "sse42" /
+// "slice8" / "table" — what BENCH_comm.json records.
+const char* crc32_kernel_name();   // IEEE polynomial kernel
+const char* crc32c_kernel_name();  // Castagnoli polynomial kernel
+
+// Hardware tier availability on this CPU (regardless of the forced ISA).
+bool crc32_hw_available();   // PCLMUL folding for CRC-32
+bool crc32c_hw_available();  // SSE4.2 crc32 instruction for CRC-32C
 
 }  // namespace psml

@@ -1,0 +1,139 @@
+// CRC-32 (IEEE) hardware tier: 4-way 128-bit carry-less-multiply folding per
+// Gopal et al., "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ
+// Instruction" (Intel, 2009), with the bit-reflected-domain fold constants
+// and Barrett reduction pair for the 0xEDB88320 polynomial. Only this TU
+// carries -mpclmul; it is reached solely through the __builtin_cpu_supports
+// dispatch in crc32.cpp.
+
+#include "common/crc32.hpp"
+
+#if defined(__PCLMUL__) && defined(__SSE4_1__)
+#include <immintrin.h>
+#endif
+
+namespace psml {
+namespace detail {
+
+#if defined(__PCLMUL__) && defined(__SSE4_1__)
+
+bool cpu_has_pclmul() {
+  return __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+}
+
+namespace {
+
+// Folds `len` bytes (len >= 64, len % 16 == 0) into the running raw
+// (pre-inversion) CRC state and returns the reduced 32-bit raw state.
+std::uint32_t fold_pclmul(const std::uint8_t* buf, std::size_t len,
+                          std::uint32_t state) {
+  // x^(T mod P) constants in the reflected domain:
+  //   k1 = x^(4*128+64), k2 = x^(4*128)   (64-byte parallel fold)
+  //   k3 = x^(128+64),   k4 = x^128       (16-byte fold)
+  //   k5 = x^96                           (96 -> 64 reduction)
+  //   mu, P'                              (Barrett reduction)
+  const __m128i k1k2 =
+      _mm_set_epi64x(0x01c6e41596ll, 0x0154442bd4ll);
+  const __m128i k3k4 =
+      _mm_set_epi64x(0x00ccaa009ell, 0x01751997d0ll);
+  const __m128i k5 = _mm_set_epi64x(0, 0x0163cd6124ll);
+  const __m128i poly_mu =
+      _mm_set_epi64x(0x01f7011641ll, 0x01db710641ll);
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(state)));
+  buf += 64;
+  len -= 64;
+
+  while (len >= 64) {
+    const __m128i x5 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+    const __m128i x6 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+    const __m128i x7 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+    const __m128i x8 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+    x1 = _mm_xor_si128(
+        _mm_xor_si128(x1, x5),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00)));
+    x2 = _mm_xor_si128(
+        _mm_xor_si128(x2, x6),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10)));
+    x3 = _mm_xor_si128(
+        _mm_xor_si128(x3, x7),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20)));
+    x4 = _mm_xor_si128(
+        _mm_xor_si128(x4, x8),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30)));
+    buf += 64;
+    len -= 64;
+  }
+
+  // 512 -> 128 bits.
+  __m128i x5 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+  x5 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), x5);
+  x5 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), x5);
+
+  while (len >= 16) {
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    x5 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, y), x5);
+    buf += 16;
+    len -= 16;
+  }
+
+  // 128 -> 64 bits.
+  __m128i x0 = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+  x1 = _mm_xor_si128(_mm_srli_si128(x1, 8), x0);
+  // 96 -> 64 bits.
+  x0 = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+  x1 = _mm_xor_si128(x1, x0);
+  // Barrett 64 -> 32 bits.
+  x0 = _mm_and_si128(x1, mask32);
+  x0 = _mm_clmulepi64_si128(x0, poly_mu, 0x10);
+  x0 = _mm_and_si128(x0, mask32);
+  x0 = _mm_clmulepi64_si128(x0, poly_mu, 0x00);
+  x1 = _mm_xor_si128(x1, x0);
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+}  // namespace
+
+std::uint32_t crc32_pclmul(const void* data, std::size_t len,
+                           std::uint32_t seed) {
+  if (len < 64) {
+    return crc32_table(data, len, seed);
+  }
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::size_t folded = len & ~static_cast<std::size_t>(15);
+  const std::uint32_t state =
+      fold_pclmul(p, folded, seed ^ 0xffffffffu);
+  return crc32_table(p + folded, len - folded, state ^ 0xffffffffu);
+}
+
+#else  // !(__PCLMUL__ && __SSE4_1__)
+
+bool cpu_has_pclmul() { return false; }
+
+std::uint32_t crc32_pclmul(const void* data, std::size_t len,
+                           std::uint32_t seed) {
+  return crc32_table(data, len, seed);  // unreachable via dispatch
+}
+
+#endif
+
+}  // namespace detail
+}  // namespace psml

@@ -1,0 +1,57 @@
+// CRC-32C hardware tier: the SSE4.2 crc32 instruction family. This is the
+// only TU compiled with -msse4.2 in psml_common; it is reached solely through
+// the __builtin_cpu_supports dispatch in crc32.cpp, so the rest of the
+// library stays baseline x86-64 (and this file degrades to the table walk on
+// compilers/targets without the ISA).
+
+#include "common/crc32.hpp"
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+
+#include <cstring>
+#endif
+
+namespace psml {
+namespace detail {
+
+#if defined(__SSE4_2__)
+
+bool cpu_has_sse42() { return __builtin_cpu_supports("sse4.2"); }
+
+std::uint32_t crc32c_sse42(const void* data, std::size_t len,
+                           std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --len;
+  }
+  std::uint64_t c64 = c;
+  while (len >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c64 = _mm_crc32_u64(c64, v);
+    p += 8;
+    len -= 8;
+  }
+  c = static_cast<std::uint32_t>(c64);
+  while (len-- > 0) {
+    c = _mm_crc32_u8(c, *p++);
+  }
+  return c ^ 0xffffffffu;
+}
+
+#else  // !__SSE4_2__
+
+bool cpu_has_sse42() { return false; }
+
+std::uint32_t crc32c_sse42(const void* data, std::size_t len,
+                           std::uint32_t seed) {
+  return crc32c_table(data, len, seed);  // unreachable via dispatch
+}
+
+#endif
+
+}  // namespace detail
+}  // namespace psml

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "net/buffer_pool.hpp"
 #include "net/serialize.hpp"
+#include "net/wire_buf.hpp"
 #include "sparse/csr.hpp"
 #include "tensor/ops.hpp"
 
@@ -10,70 +12,98 @@ namespace psml::compress {
 
 namespace {
 
-enum SubKind : std::uint8_t { kDense = 0, kCsrDelta = 1 };
-
-std::vector<std::uint8_t> with_prefix(SubKind sk,
-                                      std::vector<std::uint8_t> body) {
-  std::vector<std::uint8_t> out(body.size() + 1);
-  out[0] = static_cast<std::uint8_t>(sk);
-  std::memcpy(out.data() + 1, body.data(), body.size());
-  return out;
-}
+enum SubKind : std::uint8_t { kDense = 0, kCsrDelta = 1, kPair = 2 };
 
 }  // namespace
 
 Endpoint::Endpoint(net::Channel& channel, Config cfg)
     : channel_(channel), cfg_(cfg) {}
 
-void Endpoint::send(net::Tag tag, std::uint64_t key, const MatrixF& m) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+std::size_t Endpoint::plan_body(std::uint64_t key, const MatrixF& m,
+                                net::WireBuf& out) {
+  const std::size_t before = out.size();
   stats_.messages += 1;
   // Derived from the serializer (wire header + payload + our subkind byte),
   // not hard-coded, so the ratio accounting tracks any header change.
   const std::size_t dense_payload = net::encoded_matrix_bytes(m) + 1;
   stats_.dense_bytes += dense_payload;
 
+  const std::uint8_t sk_dense = kDense;
+  const std::uint8_t sk_csr = kCsrDelta;
+
   if (cfg_.enabled) {
-    auto it = send_baseline_.find(key);
-    if (it != send_baseline_.end() && it->second.same_shape(m)) {
-      MatrixF delta;
-      tensor::sub(m, it->second, delta);
-      if (tensor::zero_fraction(delta) >= cfg_.sparsity_threshold) {
-        const auto csr = sparse::Csr::from_dense(delta);
+    auto it = send_state_.find(key);
+    if (it != send_state_.end() && it->second.baseline.same_shape(m)) {
+      SendState& st = it->second;
+      // st.delta is per-key scratch: after the first epoch its allocation is
+      // reused every send instead of churning a fresh matrix per call.
+      tensor::sub(m, st.baseline, st.delta);
+      if (tensor::zero_fraction(st.delta) >= cfg_.sparsity_threshold) {
+        const auto csr = sparse::Csr::from_dense(st.delta);
         // CSR only pays off if it is actually smaller than dense.
         if (net::encoded_csr_bytes(csr) + 1 < dense_payload) {
-          auto buf = with_prefix(kCsrDelta, net::encode_csr(csr));
-          stats_.sent_bytes += buf.size();
+          out.append_copy(&sk_csr, 1);
+          out.append_vector(net::encode_csr(csr));
           stats_.compressed_messages += 1;
-          channel_.send(tag, buf);
-          it->second = m;  // advance baseline
-          return;
+          st.baseline = m;  // same shape: copy-assign reuses the allocation
+          const std::size_t appended = out.size() - before;
+          stats_.sent_bytes += appended;
+          return appended;
         }
       }
     }
   }
-  auto buf = with_prefix(kDense, net::encode_matrix(m));
-  stats_.sent_bytes += buf.size();
-  channel_.send(tag, buf);
-  if (cfg_.enabled) send_baseline_[key] = m;
+  out.append_copy(&sk_dense, 1);
+  // Borrowed view of the caller's matrix storage — valid through the
+  // synchronous channel send that follows plan_body.
+  net::encode_matrix_into(m, out);
+  if (cfg_.enabled) {
+    SendState& st = send_state_[key];
+    st.baseline = m;
+  }
+  const std::size_t appended = out.size() - before;
+  stats_.sent_bytes += appended;
+  return appended;
 }
 
-MatrixF Endpoint::recv(net::Tag tag, std::uint64_t key) {
-  // The blocking channel receive happens OUTSIDE the endpoint lock: holding
-  // it here would recreate the cross-party pipeline deadlock documented in
-  // net::Channel::recv (main thread blocks holding the lock; the comm-lane
-  // thread that must send the peer's awaited message queues behind it).
-  // Tags are globally unique per message, so concurrent recvs for different
-  // keys cannot steal each other's payloads; only the baseline map needs
-  // the lock.
-  const net::Message msg = channel_.recv(tag);
-  std::lock_guard<std::mutex> lock(recv_mutex_);
-  if (msg.payload.empty()) {
+void Endpoint::send(net::Tag tag, std::uint64_t key, const MatrixF& m) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  net::WireBuf buf;
+  plan_body(key, m, buf);
+  channel_.send(tag, std::move(buf));
+}
+
+void Endpoint::send_pair(net::Tag tag, std::uint64_t key_a, const MatrixF& a,
+                         std::uint64_t key_b, const MatrixF& b) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  net::WireBuf buf;
+  // Prefix placeholder: [kPair][u32 len_a]; len_a patched once body_a is
+  // planned. append_copy lands in the arena, so we plan body_a into a side
+  // WireBuf first and splice — arena offsets stay valid through append_buf.
+  net::WireBuf body_a;
+  const std::size_t len_a = plan_body(key_a, a, body_a);
+  std::uint8_t prefix[5];
+  prefix[0] = kPair;
+  const auto la = static_cast<std::uint32_t>(len_a);
+  prefix[1] = static_cast<std::uint8_t>(la & 0xff);
+  prefix[2] = static_cast<std::uint8_t>((la >> 8) & 0xff);
+  prefix[3] = static_cast<std::uint8_t>((la >> 16) & 0xff);
+  prefix[4] = static_cast<std::uint8_t>((la >> 24) & 0xff);
+  buf.append_copy(prefix, sizeof(prefix));
+  buf.append_buf(std::move(body_a));
+  plan_body(key_b, b, buf);
+  stats_.sent_bytes += sizeof(prefix);
+  channel_.send(tag, std::move(buf));
+}
+
+MatrixF Endpoint::decode_body(std::uint64_t key, const std::uint8_t* data,
+                              std::size_t size) {
+  if (size == 0) {
     throw ProtocolError("compressed recv: empty payload");
   }
-  const auto sk = static_cast<SubKind>(msg.payload[0]);
-  const std::uint8_t* body = msg.payload.data() + 1;
-  const std::size_t body_size = msg.payload.size() - 1;
+  const auto sk = static_cast<SubKind>(data[0]);
+  const std::uint8_t* body = data + 1;
+  const std::size_t body_size = size - 1;
 
   switch (sk) {
     case kDense: {
@@ -100,9 +130,53 @@ MatrixF Endpoint::recv(net::Tag tag, std::uint64_t key) {
   }
 }
 
+MatrixF Endpoint::recv(net::Tag tag, std::uint64_t key) {
+  // The blocking channel receive happens OUTSIDE the endpoint lock: holding
+  // it here would recreate the cross-party pipeline deadlock documented in
+  // net::Channel::recv (main thread blocks holding the lock; the comm-lane
+  // thread that must send the peer's awaited message queues behind it).
+  // Tags are globally unique per message, so concurrent recvs for different
+  // keys cannot steal each other's payloads; only the baseline map needs
+  // the lock.
+  net::Message msg = channel_.recv(tag);
+  MatrixF out;
+  {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    out = decode_body(key, msg.payload.data(), msg.payload.size());
+  }
+  net::BufferPool::global().release(std::move(msg.payload));
+  return out;
+}
+
+std::pair<MatrixF, MatrixF> Endpoint::recv_pair(net::Tag tag,
+                                                std::uint64_t key_a,
+                                                std::uint64_t key_b) {
+  net::Message msg = channel_.recv(tag);
+  const std::uint8_t* p = msg.payload.data();
+  const std::size_t n = msg.payload.size();
+  if (n < 5 || p[0] != kPair) {
+    throw ProtocolError("compressed recv_pair: not a pair frame");
+  }
+  const std::uint32_t len_a = static_cast<std::uint32_t>(p[1]) |
+                              (static_cast<std::uint32_t>(p[2]) << 8) |
+                              (static_cast<std::uint32_t>(p[3]) << 16) |
+                              (static_cast<std::uint32_t>(p[4]) << 24);
+  if (5 + static_cast<std::size_t>(len_a) > n) {
+    throw ProtocolError("compressed recv_pair: len_a overruns payload");
+  }
+  std::pair<MatrixF, MatrixF> out;
+  {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    out.first = decode_body(key_a, p + 5, len_a);
+    out.second = decode_body(key_b, p + 5 + len_a, n - 5 - len_a);
+  }
+  net::BufferPool::global().release(std::move(msg.payload));
+  return out;
+}
+
 void Endpoint::reset_baselines() {
   std::scoped_lock lock(send_mutex_, recv_mutex_);
-  send_baseline_.clear();
+  send_state_.clear();
   recv_baseline_.clear();
 }
 

@@ -11,11 +11,18 @@
 // both sides reset their baseline.
 //
 // Wire format: 1 subkind byte (kDense | kCsrDelta) + the net:: payload.
+// A coalesced pair frame (send_pair/recv_pair — the E and F halves of a
+// reconstruct step in ONE message per direction) is
+//   1 byte kPair | u32 len_a (little-endian) | body_a | body_b
+// where each body is exactly the single-stream encoding above, so baselines
+// and compression decisions per logical stream are identical whether a
+// matrix travelled alone or paired.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "net/channel.hpp"
 #include "net/serialize.hpp"
@@ -56,6 +63,15 @@ class Endpoint {
   // delta arrives for an unknown baseline or shapes drift.
   MatrixF recv(net::Tag tag, std::uint64_t key);
 
+  // Coalesced pair: both matrices go out in ONE channel message (halving
+  // the per-step frame count of the E/F reconstruct exchange). Each half
+  // keeps its own stream key, so delta baselines behave exactly as two
+  // single sends would.
+  void send_pair(net::Tag tag, std::uint64_t key_a, const MatrixF& a,
+                 std::uint64_t key_b, const MatrixF& b);
+  std::pair<MatrixF, MatrixF> recv_pair(net::Tag tag, std::uint64_t key_a,
+                                        std::uint64_t key_b);
+
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
 
@@ -63,10 +79,27 @@ class Endpoint {
   void reset_baselines();
 
  private:
+  // Per-key send-side state. `baseline` advances by same-shape copy-assign
+  // (reuses its allocation) and `delta` is scratch reused across epochs —
+  // the steady state of a training run does no per-send allocation here.
+  struct SendState {
+    MatrixF baseline;
+    MatrixF delta;
+  };
+
+  // Appends one stream body ([subkind][payload]) to `out` and advances the
+  // stream's baseline; returns the bytes appended. Caller holds send_mutex_.
+  std::size_t plan_body(std::uint64_t key, const MatrixF& m,
+                        net::WireBuf& out);
+  // Decodes one stream body and advances the recv baseline. Caller holds
+  // recv_mutex_.
+  MatrixF decode_body(std::uint64_t key, const std::uint8_t* data,
+                      std::size_t size);
+
   net::Channel& channel_;
   Config cfg_;
   Stats stats_;
-  std::unordered_map<std::uint64_t, MatrixF> send_baseline_;
+  std::unordered_map<std::uint64_t, SendState> send_state_;
   std::unordered_map<std::uint64_t, MatrixF> recv_baseline_;
   // The double pipeline sends/receives from two threads (main + comm lane);
   // each direction keeps its own lock so full-duplex traffic does not

@@ -1,6 +1,7 @@
 #include "mpc/secure_matmul.hpp"
 
 #include <future>
+#include <utility>
 
 #include "mpc/share.hpp"
 #include "net/serialize.hpp"
@@ -30,6 +31,26 @@ MatrixF exchange(PartyContext& ctx, net::Tag tag, std::uint64_t key,
     ctx.compressed().send(tag, key, mine);
   });
   MatrixF theirs = ctx.compressed().recv(tag, key);
+  sent.get();
+  return theirs;
+}
+
+// Coalesced exchange of the (E_i, F_i) pair: ONE frame out, ONE frame in per
+// reconstruct step instead of two each way. Same deadlock-avoidance shape as
+// exchange() above.
+std::pair<MatrixF, MatrixF> exchange_pair(PartyContext& ctx, net::Tag tag,
+                                          std::uint64_t key_a,
+                                          const MatrixF& a,
+                                          std::uint64_t key_b,
+                                          const MatrixF& b) {
+  if (!ctx.peer().send_may_block()) {
+    ctx.compressed().send_pair(tag, key_a, a, key_b, b);
+    return ctx.compressed().recv_pair(tag, key_a, key_b);
+  }
+  auto sent = std::async(std::launch::async, [&] {
+    ctx.compressed().send_pair(tag, key_a, a, key_b, b);
+  });
+  auto theirs = ctx.compressed().recv_pair(tag, key_a, key_b);
   sent.get();
   return theirs;
 }
@@ -167,10 +188,13 @@ Reconstructed reconstruct_ef(PartyContext& ctx, const MatrixF& a_i,
   Reconstructed ef;
   {
     profile::ScopedPhase sp(prof, "online.communicate");
+    // E and F travel coalesced in one frame per direction (halving the
+    // per-step round-trip count). The tag stays on the kExchangeE sequence so
+    // the Fig. 6 pipeline and resilient-training resync keep their numbering;
+    // each half keeps its own compression stream key (key^1 / key^2) exactly
+    // as the former split sends did.
     const net::Tag te = tags::kExchangeE + (seq & 0x00ffffffu);
-    const net::Tag tf = tags::kExchangeF + (seq & 0x00ffffffu);
-    MatrixF e_peer = exchange(ctx, te, key ^ 0x1, e_i);
-    MatrixF f_peer = exchange(ctx, tf, key ^ 0x2, f_i);
+    auto [e_peer, f_peer] = exchange_pair(ctx, te, key ^ 0x1, e_i, key ^ 0x2, f_i);
     if (o.cpu_parallel) {
       tensor::add_par(e_i, e_peer, ef.e);
       tensor::add_par(f_i, f_peer, ef.f);

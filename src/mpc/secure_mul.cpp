@@ -1,6 +1,7 @@
 #include "mpc/secure_mul.hpp"
 
 #include <future>
+#include <utility>
 
 #include "profile/profiler.hpp"
 #include "tensor/ops.hpp"
@@ -9,16 +10,21 @@ namespace psml::mpc {
 
 namespace {
 
-MatrixF exchange(PartyContext& ctx, net::Tag tag, std::uint64_t key,
-                 const MatrixF& mine) {
+// Coalesced (E_i, F_i) exchange — one frame per direction, mirroring
+// secure_matmul's reconstruct step.
+std::pair<MatrixF, MatrixF> exchange_pair(PartyContext& ctx, net::Tag tag,
+                                          std::uint64_t key_a,
+                                          const MatrixF& a,
+                                          std::uint64_t key_b,
+                                          const MatrixF& b) {
   if (!ctx.peer().send_may_block()) {
-    ctx.compressed().send(tag, key, mine);
-    return ctx.compressed().recv(tag, key);
+    ctx.compressed().send_pair(tag, key_a, a, key_b, b);
+    return ctx.compressed().recv_pair(tag, key_a, key_b);
   }
   auto sent = std::async(std::launch::async, [&] {
-    ctx.compressed().send(tag, key, mine);
+    ctx.compressed().send_pair(tag, key_a, a, key_b, b);
   });
-  MatrixF theirs = ctx.compressed().recv(tag, key);
+  auto theirs = ctx.compressed().recv_pair(tag, key_a, key_b);
   sent.get();
   return theirs;
 }
@@ -52,9 +58,7 @@ MatrixF secure_mul(PartyContext& ctx, const MatrixF& x_i, const MatrixF& y_i,
   {
     profile::ScopedPhase sp(prof, "online.communicate");
     const net::Tag te = tags::kExchangeE + (seq & 0x00ffffffu);
-    const net::Tag tf = tags::kExchangeF + (seq & 0x00ffffffu);
-    MatrixF e_peer = exchange(ctx, te, key ^ 0x1, e_i);
-    MatrixF f_peer = exchange(ctx, tf, key ^ 0x2, f_i);
+    auto [e_peer, f_peer] = exchange_pair(ctx, te, key ^ 0x1, e_i, key ^ 0x2, f_i);
     tensor::add(e_i, e_peer, e);
     tensor::add(f_i, f_peer, f);
   }

@@ -1,0 +1,80 @@
+#include "net/buffer_pool.hpp"
+
+#include "common/env.hpp"
+
+namespace psml::net {
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool(env_size_t("PSML_NET_POOL_BYTES", 64ull << 20));
+  return pool;
+}
+
+BufferPool::BufferPool(std::size_t cap_bytes) : cap_bytes_(cap_bytes) {}
+
+int BufferPool::class_index(std::size_t n) {
+  if (n > kMaxClass) return -1;
+  std::size_t c = kMinClass;
+  int idx = 0;
+  while (c < n) {
+    c <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t n) {
+  const int idx = class_index(n);
+  if (idx >= 0 && cap_bytes_ > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& bin = bins_[idx];
+    if (!bin.empty()) {
+      std::vector<std::uint8_t> v = std::move(bin.back());
+      bin.pop_back();
+      metrics_.bytes_held -= v.capacity();
+      metrics_.hits += 1;
+      // resize within capacity: no allocation, no zero-fill guarantees
+      // needed by the contract (callers overwrite every byte).
+      v.resize(n);
+      return v;
+    }
+    metrics_.misses += 1;
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.misses += 1;
+  }
+  std::vector<std::uint8_t> v;
+  if (idx >= 0) {
+    // Reserve the full class size so this buffer rebins cleanly on release
+    // regardless of the exact payload length that allocated it.
+    v.reserve(kMinClass << idx);
+  }
+  v.resize(n);
+  return v;
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& v) {
+  const int idx = class_index(v.capacity());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idx < 0 || v.capacity() == 0 ||
+      v.capacity() != (kMinClass << idx) ||  // off-class: came from elsewhere
+      metrics_.bytes_held + v.capacity() > cap_bytes_) {
+    metrics_.drops += 1;
+    return;  // vector dies here
+  }
+  metrics_.releases += 1;
+  metrics_.bytes_held += v.capacity();
+  bins_[idx].push_back(std::move(v));
+}
+
+BufferPool::Metrics BufferPool::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+void BufferPool::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& bin : bins_) bin.clear();
+  metrics_ = Metrics{};
+}
+
+}  // namespace psml::net

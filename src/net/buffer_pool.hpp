@@ -1,0 +1,76 @@
+// Size-classed recycling pool for transport byte buffers.
+//
+// The receive path allocates one payload vector per frame and the
+// compression layer one scratch buffer per send; at training rates that is
+// thousands of multi-MB allocations per second, all short-lived and nearly
+// all the same few sizes (the E/F matrices of each layer). The pool keeps
+// freed vectors binned by capacity (powers of two, 256 B .. 16 MiB) and
+// hands them back on the next acquire, so the steady state performs no
+// allocator traffic at all.
+//
+// Contract:
+//   - acquire(n) returns a vector with size() == n; its contents are
+//     unspecified (callers overwrite every byte — wire payloads are fully
+//     written before being read).
+//   - release(std::move(v)) is advisory: the pool may keep the buffer (if
+//     its capacity matches a class and the cap allows) or let it die. Never
+//     required for correctness — a payload that escapes to user code and is
+//     destroyed normally is simply a pool miss later.
+//   - thread-safe; a single mutex guards the bins (the critical section is
+//     a couple of pointer moves, contention is far cheaper than malloc).
+//
+// PSML_NET_POOL_BYTES caps the total bytes retained (default 64 MiB, 0
+// disables pooling entirely); metrics() exposes hit/miss/drop counters for
+// BENCH_comm.json and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace psml::net {
+
+class BufferPool {
+ public:
+  struct Metrics {
+    std::uint64_t hits = 0;       // acquire served from a bin
+    std::uint64_t misses = 0;     // acquire fell through to the allocator
+    std::uint64_t releases = 0;   // buffers accepted back
+    std::uint64_t drops = 0;      // releases rejected (cap / off-class size)
+    std::size_t bytes_held = 0;   // currently retained capacity
+  };
+
+  // Process-wide pool shared by every channel and endpoint.
+  static BufferPool& global();
+
+  // Isolated pool with an explicit retention cap — unit tests and benches
+  // use this to exercise cap/eviction behaviour without touching global().
+  explicit BufferPool(std::size_t cap_bytes);
+
+  std::vector<std::uint8_t> acquire(std::size_t n);
+  void release(std::vector<std::uint8_t>&& v);
+
+  Metrics metrics() const;
+  // Frees every retained buffer (tests and benchmarks isolate runs with it;
+  // counters reset too).
+  void clear();
+
+  std::size_t cap_bytes() const { return cap_bytes_; }
+
+ private:
+  static constexpr std::size_t kMinClass = 256;           // 2^8
+  static constexpr std::size_t kMaxClass = 16ull << 20;   // 2^24
+  static constexpr int kNumClasses = 17;                  // 2^8 .. 2^24
+
+  // Index of the smallest class holding `n` bytes, or -1 when n is outside
+  // the pooled range.
+  static int class_index(std::size_t n);
+
+  const std::size_t cap_bytes_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> bins_[kNumClasses];
+  Metrics metrics_;
+};
+
+}  // namespace psml::net

@@ -14,13 +14,16 @@ Channel::Channel()
           env_size_t("PSML_NET_TIMEOUT_MS", 0))) {}
 
 void Channel::send(Tag tag, std::span<const std::uint8_t> payload) {
-  Message m;
-  m.tag = tag;
-  m.payload.assign(payload.begin(), payload.end());
+  WireBuf buf;
+  buf.append_view(payload.data(), payload.size());
+  send(tag, std::move(buf));
+}
+
+void Channel::send(Tag tag, WireBuf&& payload) {
   stats_.bytes_sent += payload.size();
   stats_.messages_sent += 1;
   std::lock_guard<std::mutex> lock(send_mutex_);
-  send_impl(std::move(m));
+  send_impl(tag, std::move(payload));
 }
 
 namespace {

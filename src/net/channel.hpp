@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "net/wire_buf.hpp"
 
 namespace psml::net {
 
@@ -63,7 +64,11 @@ class Channel {
   virtual ~Channel() = default;
 
   // Sends one tagged message. Thread-safe against concurrent send() calls.
+  // The span overload copies nothing extra: it wraps the span as a borrowed
+  // WireBuf view (valid through the synchronous call, per the WireBuf
+  // contract) and forwards to the zero-copy path.
   void send(Tag tag, std::span<const std::uint8_t> payload);
+  void send(Tag tag, WireBuf&& payload);
 
   // Blocking receive of the next message carrying `tag`. Messages with other
   // tags received in the meantime are buffered and returned by their own
@@ -116,8 +121,11 @@ class Channel {
   TrafficStats& stats() { return stats_; }
 
  protected:
-  // Backend hooks.
-  virtual void send_impl(Message&& m) = 0;
+  // Backend hooks. send_impl receives the fragments as assembled by the
+  // caller; a backend either gathers them straight to the wire (TcpChannel's
+  // sendmsg) or moves/flattens them into a Message (LocalChannel). Borrowed
+  // fragments are valid for the duration of the call only.
+  virtual void send_impl(Tag tag, WireBuf&& payload) = 0;
   // Returns the next message in arrival order; throws NetworkError when the
   // peer is gone and TimeoutError when `deadline` expires first. A timeout
   // must leave the backend usable: a later recv_impl() call picks up exactly

@@ -155,16 +155,23 @@ void FaultInjectChannel::forward(Tag tag,
   inner_->send(tag, std::span<const std::uint8_t>(framed));
 }
 
-void FaultInjectChannel::send_impl(Message&& m) {
+void FaultInjectChannel::send_impl(Tag tag, WireBuf&& payload) {
   const std::size_t idx = send_index_++;
   const std::uint64_t seq = next_seq_++;
 
-  std::vector<std::uint8_t> framed(kMiniFrameBytes + m.payload.size());
+  // The payload CRC is computed fragment-chained before flattening — the
+  // same order the hardened TCP path would checksum it.
+  const std::uint32_t payload_crc = payload.checksum(&psml::crc32);
+  const std::size_t payload_len = payload.size();
+  std::vector<std::uint8_t> framed(kMiniFrameBytes + payload_len);
   put_u64(framed.data(), seq);
-  put_u32(framed.data() + 8, crc32(m.payload.data(), m.payload.size()));
-  if (!m.payload.empty()) {
-    std::memcpy(framed.data() + kMiniFrameBytes, m.payload.data(),
-                m.payload.size());
+  put_u32(framed.data() + 8, payload_crc);
+  {
+    std::size_t off = kMiniFrameBytes;
+    for (const WireBuf::View& v : payload.views()) {
+      std::memcpy(framed.data() + off, v.data, v.len);
+      off += v.len;
+    }
   }
 
   bool drop = false, close_after = false, duplicate = false;
@@ -214,8 +221,8 @@ void FaultInjectChannel::send_impl(Message&& m) {
     // the partition and releases the backlog. A partition that never heals
     // (fewer sends than the window) behaves like dropped messages.
     if (!drop) {
-      held_.push_back(Message{m.tag, framed});
-      if (duplicate) held_.push_back(Message{m.tag, framed});
+      held_.push_back(Message{tag, framed});
+      if (duplicate) held_.push_back(Message{tag, framed});
     }
     if (--partition_left_ == 0) {
       for (const Message& h : held_) forward(h.tag, h.payload);
@@ -226,8 +233,8 @@ void FaultInjectChannel::send_impl(Message&& m) {
   }
 
   if (!drop) {
-    forward(m.tag, framed);
-    if (duplicate) forward(m.tag, framed);
+    forward(tag, framed);
+    if (duplicate) forward(tag, framed);
   }
   if (close_after) inner_->close();
 }

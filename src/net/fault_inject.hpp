@@ -91,7 +91,9 @@ class FaultInjectChannel final : public Channel {
   }
 
  protected:
-  void send_impl(Message&& m) override;
+  // Flattens the outbound fragments first: the fault actions (bit flips,
+  // truncation, partition buffering) need one mutable contiguous frame.
+  void send_impl(Tag tag, WireBuf&& payload) override;
   Message recv_impl(Deadline deadline) override;
 
  private:

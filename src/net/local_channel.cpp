@@ -15,7 +15,10 @@ ChannelPair LocalChannel::make_pair() {
   return {std::move(a), std::move(b)};
 }
 
-void LocalChannel::send_impl(Message&& m) {
+void LocalChannel::send_impl(Tag tag, WireBuf&& payload) {
+  Message m;
+  m.tag = tag;
+  m.payload = std::move(payload).take_bytes();
   {
     std::lock_guard<std::mutex> lock(tx_->mutex);
     if (tx_->closed) {

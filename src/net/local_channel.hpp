@@ -19,7 +19,12 @@ class LocalChannel final : public Channel {
   void close() override;
 
  protected:
-  void send_impl(Message&& m) override;
+  // Fast path: an owned single-buffer WireBuf (the usual encoded-body case)
+  // moves through the queue without any byte copy — the receiver gets the
+  // sender's allocation, bitwise identical. View fragments flatten once
+  // through the buffer pool (the send contract says views don't outlive the
+  // call, and queued messages do).
+  void send_impl(Tag tag, WireBuf&& payload) override;
   Message recv_impl(Deadline deadline) override;
 
  private:

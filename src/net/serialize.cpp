@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "net/buffer_pool.hpp"
+
 namespace psml::net {
 
 namespace {
@@ -36,6 +38,28 @@ MatrixHeader read_header(const std::uint8_t* data, std::size_t size) {
 }
 
 }  // namespace
+
+namespace {
+
+template <typename T>
+void encode_dense_into(const Matrix<T>& m, PayloadKind kind, WireBuf& out) {
+  const MatrixHeader h{static_cast<std::uint8_t>(kind),
+                       {0, 0, 0},
+                       static_cast<std::uint32_t>(m.rows()),
+                       static_cast<std::uint32_t>(m.cols())};
+  out.append_copy(&h, sizeof(h));
+  out.append_view(m.data(), m.bytes());
+}
+
+}  // namespace
+
+void encode_matrix_into(const MatrixF& m, WireBuf& out) {
+  encode_dense_into(m, PayloadKind::kDenseF32, out);
+}
+
+void encode_matrix_into(const MatrixU64& m, WireBuf& out) {
+  encode_dense_into(m, PayloadKind::kDenseU64, out);
+}
 
 std::vector<std::uint8_t> encode_matrix(const MatrixF& m) {
   return encode_dense(m, PayloadKind::kDenseF32);
@@ -112,11 +136,15 @@ MatrixU64 decode_matrix_u64(const std::uint8_t* data, std::size_t size) {
 }
 
 void send_matrix(Channel& ch, Tag tag, const MatrixF& m) {
-  ch.send(tag, encode_matrix(m));
+  WireBuf buf;
+  encode_matrix_into(m, buf);
+  ch.send(tag, std::move(buf));
 }
 
 void send_matrix(Channel& ch, Tag tag, const MatrixU64& m) {
-  ch.send(tag, encode_matrix(m));
+  WireBuf buf;
+  encode_matrix_into(m, buf);
+  ch.send(tag, std::move(buf));
 }
 
 void send_csr(Channel& ch, Tag tag, const psml::sparse::Csr& m) {
@@ -124,13 +152,17 @@ void send_csr(Channel& ch, Tag tag, const psml::sparse::Csr& m) {
 }
 
 MatrixF recv_matrix_f32(Channel& ch, Tag tag) {
-  const Message m = ch.recv(tag);
-  return decode_matrix_f32(m.payload.data(), m.payload.size());
+  Message m = ch.recv(tag);
+  MatrixF out = decode_matrix_f32(m.payload.data(), m.payload.size());
+  BufferPool::global().release(std::move(m.payload));
+  return out;
 }
 
 MatrixU64 recv_matrix_u64(Channel& ch, Tag tag) {
-  const Message m = ch.recv(tag);
-  return decode_matrix_u64(m.payload.data(), m.payload.size());
+  Message m = ch.recv(tag);
+  MatrixU64 out = decode_matrix_u64(m.payload.data(), m.payload.size());
+  BufferPool::global().release(std::move(m.payload));
+  return out;
 }
 
 }  // namespace psml::net

@@ -25,6 +25,14 @@ std::vector<std::uint8_t> encode_matrix(const MatrixF& m);
 std::vector<std::uint8_t> encode_matrix(const MatrixU64& m);
 std::vector<std::uint8_t> encode_csr(const psml::sparse::Csr& m);
 
+// View-based encoders: append the wire encoding onto a WireBuf without
+// materializing a byte vector — the 12-byte header is copied, the matrix
+// storage rides as a borrowed view (valid through the synchronous send; a
+// backend that must retain it consolidates via WireBuf::make_owned). This is
+// what makes a large-matrix send zero-copy end to end.
+void encode_matrix_into(const MatrixF& m, WireBuf& out);
+void encode_matrix_into(const MatrixU64& m, WireBuf& out);
+
 // Exact encode_matrix / encode_csr output sizes without materializing the
 // buffer, derived from the same wire-header struct the encoders use. The
 // compression layer's dense-vs-CSR accounting uses these so its ratios can't

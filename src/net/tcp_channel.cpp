@@ -18,6 +18,7 @@
 #include "common/crc32.hpp"
 #include "common/env.hpp"
 #include "common/log.hpp"
+#include "net/buffer_pool.hpp"
 
 namespace psml::net {
 
@@ -50,6 +51,7 @@ struct HelloFrame {
 static_assert(sizeof(HelloFrame) == 32);
 
 constexpr std::uint32_t kHelloFlagResume = 1u;
+constexpr std::uint32_t kHelloFlagCrc32c = 2u;
 
 std::size_t max_frame_bytes() {
   static const std::size_t cap =
@@ -149,18 +151,55 @@ std::size_t TcpChannel::read_some(int fd, void* data, std::size_t size,
 
 namespace {
 
-void write_frame(int fd, Tag tag, std::uint64_t seq,
-                 const std::vector<std::uint8_t>& payload) {
+// Gather-writes the whole iovec array, advancing across partial writes.
+// sendmsg (not writev) because the socket needs MSG_NOSIGNAL — writev has
+// no flags parameter.
+void writev_all(int fd, iovec* iov, std::size_t count) {
+  constexpr std::size_t kMaxIov = 1024;  // UIO_MAXIOV floor
+  while (count > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = std::min(count, kMaxIov);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sendmsg");
+    }
+    std::size_t written = static_cast<std::size_t>(n);
+    while (count > 0 && written >= iov[0].iov_len) {
+      written -= iov[0].iov_len;
+      ++iov;
+      --count;
+    }
+    if (count > 0 && written > 0) {
+      iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + written;
+      iov[0].iov_len -= written;
+    }
+  }
+}
+
+// One frame = one syscall: the 32-byte header and every payload fragment go
+// out as a single scatter-gather sendmsg. The payload is checksummed
+// fragment-chained, never flattened.
+void write_frame(int fd, Tag tag, std::uint64_t seq, const WireBuf& payload,
+                 bool use_crc32c) {
   FrameHeader h{};
   h.magic = kFrameMagic;
   h.tag = tag;
   h.seq = seq;
   h.payload_len = payload.size();
-  h.payload_crc = crc32(payload.data(), payload.size());
+  h.payload_crc =
+      use_crc32c ? payload.checksum(&psml::crc32c) : payload.checksum(&psml::crc32);
   h.header_crc = crc32(&h, sizeof(FrameHeader) - sizeof(std::uint32_t));
-  TcpChannel::write_all(fd, &h, sizeof(h));
-  if (!payload.empty())
-    TcpChannel::write_all(fd, payload.data(), payload.size());
+  const auto views = payload.views();
+  std::vector<iovec> iov;
+  iov.reserve(views.size() + 1);
+  iov.push_back(iovec{&h, sizeof(h)});
+  for (const WireBuf::View& v : views) {
+    iov.push_back(
+        iovec{const_cast<std::uint8_t*>(v.data), v.len});
+  }
+  writev_all(fd, iov.data(), iov.size());
 }
 
 void read_exact(int fd, void* data, std::size_t size, Deadline deadline) {
@@ -258,23 +297,33 @@ HelloFrame read_hello(int fd, Deadline deadline) {
 }
 
 void write_hello(int fd, std::uint64_t session_id, std::uint64_t last_recv,
-                 bool resume) {
+                 std::uint32_t flags) {
   HelloFrame h{};
   h.magic = kHelloMagic;
   h.version = kWireVersion;
   h.session_id = session_id;
   h.last_recv_seq = last_recv;
-  h.flags = resume ? kHelloFlagResume : 0;
+  h.flags = flags;
   h.crc = crc32(&h, sizeof(HelloFrame) - sizeof(std::uint32_t));
   TcpChannel::write_all(fd, &h, sizeof(h));
 }
 
 }  // namespace
 
+std::uint32_t TcpChannel::hello_flags(const TcpOptions& opts) {
+  std::uint32_t flags = 0;
+  if (opts.resume) flags |= kHelloFlagResume;
+  static const bool env_crc32c = env_size_t("PSML_NET_CRC32C", 1) != 0;
+  if (opts.crc32c && env_crc32c) flags |= kHelloFlagCrc32c;
+  return flags;
+}
+
 void TcpChannel::handshake_client(int fd, std::uint64_t& session_id,
-                                  std::uint64_t last_recv_seq, bool resume,
-                                  std::uint64_t& peer_last_recv) {
-  write_hello(fd, session_id, last_recv_seq, resume);
+                                  std::uint64_t last_recv_seq,
+                                  std::uint32_t my_flags,
+                                  std::uint64_t& peer_last_recv,
+                                  std::uint32_t& peer_flags) {
+  write_hello(fd, session_id, last_recv_seq, my_flags);
   const Deadline d = deadline_after(std::chrono::milliseconds(10000));
   const HelloFrame h = read_hello(fd, d);
   if (session_id != 0 && h.session_id != session_id) {
@@ -282,11 +331,14 @@ void TcpChannel::handshake_client(int fd, std::uint64_t& session_id,
   }
   session_id = h.session_id;
   peer_last_recv = h.last_recv_seq;
+  peer_flags = h.flags;
 }
 
 void TcpChannel::handshake_server(int fd, std::uint64_t& session_id,
-                                  std::uint64_t last_recv_seq, bool resume,
-                                  std::uint64_t& peer_last_recv) {
+                                  std::uint64_t last_recv_seq,
+                                  std::uint32_t my_flags,
+                                  std::uint64_t& peer_last_recv,
+                                  std::uint32_t& peer_flags) {
   const Deadline d = deadline_after(std::chrono::milliseconds(10000));
   const HelloFrame h = read_hello(fd, d);
   if (session_id == 0) {
@@ -295,7 +347,8 @@ void TcpChannel::handshake_server(int fd, std::uint64_t& session_id,
     throw NetworkError("TcpChannel: peer resumed an unknown session");
   }
   peer_last_recv = h.last_recv_seq;
-  write_hello(fd, session_id, last_recv_seq, resume);
+  peer_flags = h.flags;
+  write_hello(fd, session_id, last_recv_seq, my_flags);
 }
 
 // ---------------------------------------------------------------------------
@@ -334,9 +387,11 @@ std::shared_ptr<Channel> TcpChannel::listen(std::uint16_t port,
   int fd = -1;
   std::uint64_t session_id = 0;
   std::uint64_t peer_last = 0;
+  std::uint32_t peer_flags = 0;
+  const std::uint32_t my_flags = hello_flags(opts);
   try {
     fd = accept_once(lfd, d);
-    handshake_server(fd, session_id, 0, opts.resume, peer_last);
+    handshake_server(fd, session_id, 0, my_flags, peer_last, peer_flags);
   } catch (...) {
     if (fd >= 0) ::close(fd);
     ::close(lfd);
@@ -348,8 +403,11 @@ std::shared_ptr<Channel> TcpChannel::listen(std::uint16_t port,
   } else {
     ::close(lfd);
   }
-  return std::shared_ptr<Channel>(new TcpChannel(
-      fd, keep_lfd, Role::kServer, std::string(), port, opts, session_id));
+  const bool use_crc32c = (my_flags & kHelloFlagCrc32c) != 0 &&
+                          (peer_flags & kHelloFlagCrc32c) != 0;
+  return std::shared_ptr<Channel>(new TcpChannel(fd, keep_lfd, Role::kServer,
+                                                 std::string(), port, opts,
+                                                 session_id, use_crc32c));
 }
 
 std::shared_ptr<Channel> TcpChannel::connect(const std::string& host,
@@ -390,19 +448,23 @@ std::shared_ptr<Channel> TcpChannel::connect(const std::string& host,
   }
   std::uint64_t session_id = 0;
   std::uint64_t peer_last = 0;
+  std::uint32_t peer_flags = 0;
+  const std::uint32_t my_flags = hello_flags(opts);
   try {
-    handshake_client(fd, session_id, 0, opts.resume, peer_last);
+    handshake_client(fd, session_id, 0, my_flags, peer_last, peer_flags);
   } catch (...) {
     ::close(fd);
     throw;
   }
+  const bool use_crc32c = (my_flags & kHelloFlagCrc32c) != 0 &&
+                          (peer_flags & kHelloFlagCrc32c) != 0;
   return std::shared_ptr<Channel>(new TcpChannel(
-      fd, -1, Role::kClient, host, port, opts, session_id));
+      fd, -1, Role::kClient, host, port, opts, session_id, use_crc32c));
 }
 
 TcpChannel::TcpChannel(int fd, int listen_fd, Role role, std::string host,
                        std::uint16_t port, TcpOptions opts,
-                       std::uint64_t session_id)
+                       std::uint64_t session_id, bool use_crc32c)
     : fd_(fd),
       role_(role),
       peer_host_(std::move(host)),
@@ -410,6 +472,7 @@ TcpChannel::TcpChannel(int fd, int listen_fd, Role role, std::string host,
       opts_(opts),
       session_id_(session_id),
       listen_fd_(listen_fd),
+      use_crc32c_(use_crc32c),
       backoff_state_(opts.jitter_seed ^ session_id) {}
 
 TcpChannel::~TcpChannel() {
@@ -463,8 +526,11 @@ void TcpChannel::retransmit_from(int fd, std::uint64_t peer_last_recv) {
         "TcpChannel: cannot resume — retransmit window no longer holds seq " +
         std::to_string(peer_last_recv + 1));
   }
+  const bool use_crc32c = use_crc32c_.load(std::memory_order_relaxed);
   for (const SentFrame& f : ring_) {
-    if (f.seq > peer_last_recv) write_frame(fd, f.tag, f.seq, f.payload);
+    if (f.seq > peer_last_recv) {
+      write_frame(fd, f.tag, f.seq, f.payload, use_crc32c);
+    }
   }
 }
 
@@ -500,12 +566,23 @@ void TcpChannel::recover_or_throw(std::uint64_t failed_gen,
                 : accept_once(listen_fd_, d);
       std::uint64_t sid = session_id_;
       std::uint64_t peer_last = 0;
+      std::uint32_t peer_flags = 0;
       const std::uint64_t my_last =
           last_recv_seq_.load(std::memory_order_acquire);
+      const std::uint32_t my_flags = hello_flags(opts_) | kHelloFlagResume;
       if (role_ == Role::kClient) {
-        handshake_client(nfd, sid, my_last, true, peer_last);
+        handshake_client(nfd, sid, my_last, my_flags, peer_last, peer_flags);
       } else {
-        handshake_server(nfd, sid, my_last, true, peer_last);
+        handshake_server(nfd, sid, my_last, my_flags, peer_last, peer_flags);
+      }
+      // The checksum negotiation must come out the same as the original
+      // handshake — a peer that changes capabilities mid-session would
+      // corrupt every in-flight payload_crc check.
+      const bool renegotiated = (my_flags & kHelloFlagCrc32c) != 0 &&
+                                (peer_flags & kHelloFlagCrc32c) != 0;
+      if (renegotiated != use_crc32c_.load(std::memory_order_relaxed)) {
+        throw NetworkError(
+            "TcpChannel: peer changed checksum capability on resume");
       }
       retransmit_from(nfd, peer_last);
       fd_.store(nfd, std::memory_order_release);
@@ -529,22 +606,27 @@ void TcpChannel::recover_or_throw(std::uint64_t failed_gen,
 // ---------------------------------------------------------------------------
 // Data plane
 
-void TcpChannel::send_impl(Message&& m) {
+void TcpChannel::send_impl(Tag tag, WireBuf&& payload) {
   if (shut_.load(std::memory_order_acquire)) {
     throw NetworkError("TcpChannel: send on closed channel");
   }
-  if (m.payload.size() > max_frame_bytes()) {
+  if (payload.size() > max_frame_bytes()) {
     throw NetworkError("TcpChannel: payload of " +
-                       std::to_string(m.payload.size()) +
+                       std::to_string(payload.size()) +
                        " bytes exceeds PSML_NET_MAX_FRAME");
   }
+  const bool use_crc32c = use_crc32c_.load(std::memory_order_relaxed);
   std::uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     seq = next_send_seq_++;
     if (opts_.resume) {
-      ring_bytes_ += m.payload.size() + sizeof(FrameHeader);
-      ring_.push_back(SentFrame{seq, m.tag, m.payload});
+      // Resume costs the one consolidation copy for borrowed fragments;
+      // the ring entry then just bumps refcounts on the owned storage (the
+      // live write below gathers from the very same buffers).
+      payload.make_owned();
+      ring_bytes_ += payload.size() + sizeof(FrameHeader);
+      ring_.push_back(SentFrame{seq, tag, payload.clone_shared()});
       while (ring_bytes_ > opts_.retransmit_cap_bytes && !ring_.empty()) {
         ring_bytes_ -= ring_.front().payload.size() + sizeof(FrameHeader);
         ring_.pop_front();
@@ -563,7 +645,7 @@ void TcpChannel::send_impl(Message&& m) {
     const int fd = fd_.load(std::memory_order_acquire);
     if (fd < 0) throw NetworkError("TcpChannel: send on closed channel");
     try {
-      write_frame(fd, m.tag, seq, m.payload);
+      write_frame(fd, tag, seq, payload, use_crc32c);
       return;
     } catch (const NetworkError& e) {
       recover_or_throw(gen, e);  // returns (retry) or throws
@@ -610,7 +692,8 @@ Message TcpChannel::recv_impl(Deadline deadline) {
                              " bytes exceeds PSML_NET_MAX_FRAME");
         }
         st.msg.tag = h.tag;
-        st.msg.payload.resize(h.payload_len);
+        // Pooled payload: steady-state receive does no allocator traffic.
+        st.msg.payload = BufferPool::global().acquire(h.payload_len);
         st.payload_crc = h.payload_crc;
         st.have_header = true;
         st.got = 0;
@@ -622,8 +705,11 @@ Message TcpChannel::recv_impl(Deadline deadline) {
         st.got += read_some(fd, st.msg.payload.data() + st.got,
                             st.msg.payload.size() - st.got, deadline);
       }
-      if (crc32(st.msg.payload.data(), st.msg.payload.size()) !=
-          st.payload_crc) {
+      const std::uint32_t got_crc =
+          use_crc32c_.load(std::memory_order_relaxed)
+              ? crc32c(st.msg.payload.data(), st.msg.payload.size())
+              : crc32(st.msg.payload.data(), st.msg.payload.size());
+      if (got_crc != st.payload_crc) {
         throw NetworkError("TcpChannel: payload crc mismatch (corrupt "
                            "stream?)");
       }
@@ -634,7 +720,11 @@ Message TcpChannel::recv_impl(Deadline deadline) {
       st.got = 0;
       Message out = std::move(st.msg);
       st.msg = Message{};
-      if (h.seq <= last) continue;  // duplicate after a resume retransmit
+      if (h.seq <= last) {
+        // Duplicate after a resume retransmit: recycle its buffer.
+        BufferPool::global().release(std::move(out.payload));
+        continue;
+      }
       if (h.seq != last + 1) {
         throw NetworkError("TcpChannel: sequence gap (got " +
                            std::to_string(h.seq) + ", expected " +

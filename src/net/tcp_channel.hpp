@@ -5,7 +5,10 @@
 //   | u32 header_crc | payload bytes
 // Every field of the header is covered by header_crc (CRC-32 of the first
 // 28 bytes) so a corrupt or desynchronized stream is rejected before the
-// payload length is trusted; payload_len is additionally capped
+// payload length is trusted. payload_crc is IEEE CRC-32 unless both hellos
+// advertised the CRC-32C capability flag, in which case payloads switch to
+// the hardware-accelerated Castagnoli polynomial (header_crc never
+// switches: it must be checkable pre-negotiation); payload_len is capped
 // (PSML_NET_MAX_FRAME, default 1 GiB) so a garbage header cannot trigger a
 // multi-GB allocation. `seq` numbers each direction's frames from 1 and
 // enables duplicate suppression and reconnect-and-resume.
@@ -47,6 +50,15 @@ struct TcpOptions {
   // PSML_NET_ACCEPT_TIMEOUT_MS (0 = wait forever). Expiry throws
   // TimeoutError.
   double accept_timeout_sec = -1.0;
+
+  // Payload checksum algorithm. When true (the default) the endpoint
+  // advertises CRC-32C support in its "PSMH" hello; payload_crc switches to
+  // the hardware-accelerated CRC-32C only when BOTH endpoints advertised it,
+  // so an old peer (or a raw test harness sending flags=0) transparently
+  // falls back to IEEE CRC-32. header_crc stays IEEE CRC-32 unconditionally
+  // — it must be checkable before any negotiation state is known.
+  // PSML_NET_CRC32C=0 force-disables advertising.
+  bool crc32c = true;
 
   // Reconnect-and-resume. Requires both endpoints to opt in.
   bool resume = false;
@@ -93,6 +105,10 @@ class TcpChannel final : public Channel {
   int reconnect_count() const {
     return reconnects_.load(std::memory_order_relaxed);
   }
+  // True when both endpoints advertised CRC-32C and payloads use it.
+  bool crc32c_negotiated() const {
+    return use_crc32c_.load(std::memory_order_relaxed);
+  }
 
   // Deadline-aware raw I/O on one fd, shared with the framing helpers.
   // Throws TimeoutError on deadline expiry and NetworkError on socket
@@ -102,7 +118,12 @@ class TcpChannel final : public Channel {
                                Deadline deadline);
 
  protected:
-  void send_impl(Message&& m) override;
+  // Zero-copy data plane: the frame header and the WireBuf fragments go out
+  // in ONE sendmsg (scatter-gather, MSG_NOSIGNAL), never flattened. With
+  // resume enabled the payload is first consolidated (make_owned — the one
+  // copy resume costs for borrowed views) and the retransmit ring stores a
+  // clone_shared() that bumps refcounts instead of deep-copying bytes.
+  void send_impl(Tag tag, WireBuf&& payload) override;
   Message recv_impl(Deadline deadline) override;
 
  private:
@@ -111,7 +132,7 @@ class TcpChannel final : public Channel {
   struct SentFrame {
     std::uint64_t seq = 0;
     Tag tag = 0;
-    std::vector<std::uint8_t> payload;
+    WireBuf payload;  // fully owned; shares storage with the original send
   };
 
   // Partially read frame, preserved across a deadline expiry so the stream
@@ -128,7 +149,8 @@ class TcpChannel final : public Channel {
   };
 
   TcpChannel(int fd, int listen_fd, Role role, std::string host,
-             std::uint16_t port, TcpOptions opts, std::uint64_t session_id);
+             std::uint16_t port, TcpOptions opts, std::uint64_t session_id,
+             bool use_crc32c);
 
   // Called by send/recv after a socket-level failure observed under
   // connection generation `failed_gen`. Returns (retry the operation) if the
@@ -142,11 +164,17 @@ class TcpChannel final : public Channel {
                        Deadline deadline);
   static int accept_once(int listen_fd, Deadline deadline);
   static void handshake_client(int fd, std::uint64_t& session_id,
-                               std::uint64_t last_recv_seq, bool resume,
-                               std::uint64_t& peer_last_recv);
+                               std::uint64_t last_recv_seq,
+                               std::uint32_t my_flags,
+                               std::uint64_t& peer_last_recv,
+                               std::uint32_t& peer_flags);
   static void handshake_server(int fd, std::uint64_t& session_id,
-                               std::uint64_t last_recv_seq, bool resume,
-                               std::uint64_t& peer_last_recv);
+                               std::uint64_t last_recv_seq,
+                               std::uint32_t my_flags,
+                               std::uint64_t& peer_last_recv,
+                               std::uint32_t& peer_flags);
+  // The flags this endpoint advertises in its hello, from opts_ and env.
+  static std::uint32_t hello_flags(const TcpOptions& opts);
   void retransmit_from(int fd, std::uint64_t peer_last_recv);
 
   double next_backoff_ms(int attempt);
@@ -165,6 +193,10 @@ class TcpChannel final : public Channel {
   const TcpOptions opts_;
   std::uint64_t session_id_ = 0;
   int listen_fd_ = -1;
+  // Result of the hello negotiation; re-derived on every reconnect
+  // handshake (the peer's capabilities cannot silently change mid-session —
+  // a mismatch there throws).
+  std::atomic<bool> use_crc32c_{false};
 
   // Guards the reconnect state machine: conn_gen_, retired_fds_, the
   // retransmit ring, seq assignment, and backoff_state_. Never held across

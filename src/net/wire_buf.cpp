@@ -1,0 +1,141 @@
+#include "net/wire_buf.hpp"
+
+#include <cstring>
+
+#include "net/buffer_pool.hpp"
+
+namespace psml::net {
+
+void WireBuf::append_copy(const void* data, std::size_t len) {
+  if (len == 0) return;
+  Frag f;
+  f.in_arena = true;
+  f.off = arena_.size();
+  f.len = len;
+  arena_.insert(arena_.end(), static_cast<const std::uint8_t*>(data),
+                static_cast<const std::uint8_t*>(data) + len);
+  frags_.push_back(std::move(f));
+  size_ += len;
+}
+
+void WireBuf::append_view(const void* data, std::size_t len) {
+  if (len == 0) return;
+  Frag f;
+  f.data = static_cast<const std::uint8_t*>(data);
+  f.len = len;
+  frags_.push_back(std::move(f));
+  size_ += len;
+}
+
+void WireBuf::append_shared(std::shared_ptr<const void> owner,
+                            const void* data, std::size_t len) {
+  if (len == 0) return;
+  Frag f;
+  f.data = static_cast<const std::uint8_t*>(data);
+  f.len = len;
+  f.owner = std::move(owner);
+  frags_.push_back(std::move(f));
+  size_ += len;
+}
+
+void WireBuf::append_vector(std::vector<std::uint8_t>&& v) {
+  if (v.empty()) return;
+  Frag f;
+  f.vec = std::make_shared<std::vector<std::uint8_t>>(std::move(v));
+  f.data = f.vec->data();
+  f.len = f.vec->size();
+  size_ += f.len;
+  frags_.push_back(std::move(f));
+}
+
+void WireBuf::append_buf(WireBuf&& other) {
+  const std::size_t base = arena_.size();
+  arena_.insert(arena_.end(), other.arena_.begin(), other.arena_.end());
+  for (Frag& f : other.frags_) {
+    if (f.in_arena) f.off += base;
+    frags_.push_back(std::move(f));
+  }
+  size_ += other.size_;
+  other.frags_.clear();
+  other.arena_.clear();
+  other.size_ = 0;
+}
+
+std::vector<WireBuf::View> WireBuf::views() const {
+  std::vector<View> out;
+  out.reserve(frags_.size());
+  for (const Frag& f : frags_) out.push_back(View{frag_data(f), f.len});
+  return out;
+}
+
+std::uint32_t WireBuf::checksum(
+    std::uint32_t (*fn)(const void*, std::size_t, std::uint32_t)) const {
+  std::uint32_t c = 0;
+  for (const Frag& f : frags_) c = fn(frag_data(f), f.len, c);
+  return c;
+}
+
+bool WireBuf::fully_owned() const {
+  for (const Frag& f : frags_) {
+    if (!f.in_arena && !f.vec && !f.owner) return false;
+  }
+  return true;
+}
+
+void WireBuf::make_owned() {
+  std::size_t viewed = 0;
+  for (const Frag& f : frags_) {
+    if (!f.in_arena && !f.vec && !f.owner) viewed += f.len;
+  }
+  if (viewed == 0) return;
+  // One pooled buffer for every viewed fragment; consecutive views collapse
+  // into it in order, each becoming a shared slice.
+  auto backing = std::make_shared<std::vector<std::uint8_t>>(
+      BufferPool::global().acquire(viewed));
+  std::size_t off = 0;
+  for (Frag& f : frags_) {
+    if (f.in_arena || f.vec || f.owner) continue;
+    std::memcpy(backing->data() + off, f.data, f.len);
+    f.data = backing->data() + off;
+    f.owner = std::shared_ptr<const void>(backing, backing->data());
+    off += f.len;
+  }
+}
+
+WireBuf WireBuf::clone_shared() const {
+  WireBuf out;
+  out.arena_ = arena_;
+  out.frags_ = frags_;
+  // Arena fragments resolve against the clone's own arena copy; shared /
+  // vec fragments carry their refcounted storage over unchanged.
+  out.size_ = size_;
+  return out;
+}
+
+std::vector<std::uint8_t> WireBuf::take_bytes() && {
+  if (frags_.size() == 1) {
+    Frag& f = frags_.front();
+    // Whole-vector fragment with no other owners: move it out intact. This
+    // preserves byte-for-byte (and allocation) identity through
+    // LocalChannel.
+    if (f.vec && f.vec.use_count() == 1 && f.data == f.vec->data() &&
+        f.len == f.vec->size()) {
+      std::vector<std::uint8_t> out = std::move(*f.vec);
+      frags_.clear();
+      size_ = 0;
+      return out;
+    }
+  }
+  std::vector<std::uint8_t> out = BufferPool::global().acquire(size_);
+  std::size_t off = 0;
+  for (const Frag& f : frags_) {
+    std::memcpy(out.data() + off, frag_data(f), f.len);
+    off += f.len;
+  }
+  frags_.clear();
+  arena_.clear();
+  size_ = 0;
+  return out;
+}
+
+}  // namespace psml::net

@@ -1,0 +1,111 @@
+// Zero-copy outbound message: an ordered list of byte fragments that a
+// backend can hand to scatter-gather I/O (one sendmsg per frame) without
+// ever flattening into a single contiguous payload.
+//
+// Fragment ownership comes in three strengths:
+//   copied  — small bytes (wire headers, subkind prefixes) memcpy'd into the
+//             WireBuf's own arena at append time
+//   shared  — a refcounted buffer (shared_ptr) the WireBuf co-owns; cheap to
+//             clone into the retransmit ring, alive as long as anyone needs
+//   viewed  — a borrowed pointer into caller storage (matrix data). Valid
+//             only until the synchronous send() returns; a backend that must
+//             keep the bytes longer (retransmit ring) calls make_owned()
+//             first, which consolidates all viewed fragments into one shared
+//             buffer — the single copy the resume feature costs.
+//
+// The CRC of the whole logical payload is computed fragment-by-fragment with
+// the seed-chaining convention (crc(A||B) == crc(B, len_b, crc(A))), so the
+// scatter-gather path never materializes the payload just to checksum it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace psml::net {
+
+class WireBuf {
+ public:
+  struct View {
+    const std::uint8_t* data;
+    std::size_t len;
+  };
+
+  WireBuf() = default;
+  WireBuf(WireBuf&&) = default;
+  WireBuf& operator=(WireBuf&&) = default;
+  WireBuf(const WireBuf&) = delete;
+  WireBuf& operator=(const WireBuf&) = delete;
+
+  // Copies `len` bytes into the arena (for headers and other small bytes).
+  void append_copy(const void* data, std::size_t len);
+  // Borrows caller storage; the caller guarantees the bytes outlive the
+  // synchronous send() call.
+  void append_view(const void* data, std::size_t len);
+  // Co-owns `owner`; `data` points into the owned storage.
+  void append_shared(std::shared_ptr<const void> owner, const void* data,
+                     std::size_t len);
+  // Takes ownership of a whole vector (the common "encoded body" case).
+  // A WireBuf holding exactly one of these releases it intact via
+  // take_bytes() — the LocalChannel fast path.
+  void append_vector(std::vector<std::uint8_t>&& v);
+  // Splices another WireBuf's fragments onto the end of this one (arena
+  // bytes merge, owned/viewed fragments carry over). `other` is left empty.
+  void append_buf(WireBuf&& other);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t fragment_count() const { return frags_.size(); }
+
+  // Resolved {pointer, length} spans in payload order. Pointers into the
+  // arena are only stable until the next append_copy.
+  std::vector<View> views() const;
+
+  // Fragment-chained checksum over the whole payload; `fn` is one of the
+  // crc32 / crc32c entry points.
+  std::uint32_t checksum(std::uint32_t (*fn)(const void*, std::size_t,
+                                             std::uint32_t)) const;
+
+  // True when no fragment is a borrowed view (safe to keep past the send).
+  bool fully_owned() const;
+
+  // Consolidates viewed fragments into one pooled shared buffer so the
+  // WireBuf (and clones of it) stay valid after send() returns. Shared and
+  // arena fragments are left alone — no copy for them.
+  void make_owned();
+
+  // Cheap copy sharing the same owned storage (refcount bump, no byte
+  // copies). Requires fully_owned(); the retransmit ring stores these.
+  WireBuf clone_shared() const;
+
+  // Moves the payload out as one contiguous vector. Zero-copy when the
+  // WireBuf is exactly one whole owned vector; otherwise flattens through
+  // the buffer pool. Consumes the WireBuf.
+  std::vector<std::uint8_t> take_bytes() &&;
+
+ private:
+  struct Frag {
+    // Exactly one storage mode:
+    //   in_arena      — bytes at arena_[off .. off+len)
+    //   vec != null   — whole owned vector; data points into *vec
+    //   owner != null — shared opaque storage; data points into it
+    //   none of those — borrowed view
+    bool in_arena = false;
+    std::size_t off = 0;
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+    std::shared_ptr<const void> owner;
+    std::shared_ptr<std::vector<std::uint8_t>> vec;
+  };
+
+  const std::uint8_t* frag_data(const Frag& f) const {
+    return f.in_arena ? arena_.data() + f.off : f.data;
+  }
+
+  std::vector<std::uint8_t> arena_;
+  std::vector<Frag> frags_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace psml::net

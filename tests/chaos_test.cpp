@@ -157,34 +157,45 @@ TEST(ChaosMatmul, BenignPlanMatchesCleanRun) {
   const auto sb = mpc::share_float(b, 32);
 
   // Same triplet seed for both runs, so a clean run and a benign-chaos run
-  // must produce bit-identical shares.
-  auto run = [&](net::ChannelPair chans, MatrixF& c0, MatrixF& c1) {
+  // must produce bit-identical shares. Two sequential matmuls per run: the
+  // coalesced E/F exchange sends ONE frame per direction per step, so the
+  // two-send partition window (part@0:2) spans both steps and heals when
+  // step 2's frame goes out.
+  auto run = [&](net::ChannelPair chans, MatrixF& c0, MatrixF& c1,
+                 MatrixF& d0, MatrixF& d1) {
     mpc::TripletDealer dealer(nullptr, {false, false, 33});
     auto [t0, t1] = dealer.make_matmul(m, k, n);
+    auto [u0, u1] = dealer.make_matmul(m, k, n);
     run_chaos_parties(
         cpu_opts(), std::move(chans),
         [&](mpc::PartyContext& ctx) {
           c0 = mpc::secure_matmul(ctx, sa.s0, sb.s0, t0);
+          d0 = mpc::secure_matmul(ctx, sa.s0, sb.s0, u0);
         },
         [&](mpc::PartyContext& ctx) {
           c1 = mpc::secure_matmul(ctx, sa.s1, sb.s1, t1);
+          d1 = mpc::secure_matmul(ctx, sa.s1, sb.s1, u1);
         });
   };
 
-  MatrixF clean0, clean1;
-  run(net::LocalChannel::make_pair(), clean0, clean1);
+  MatrixF clean0, clean1, clean_d0, clean_d1;
+  run(net::LocalChannel::make_pair(), clean0, clean1, clean_d0, clean_d1);
 
-  MatrixF chaos0, chaos1;
+  MatrixF chaos0, chaos1, chaos_d0, chaos_d1;
   run(net::FaultInjectChannel::wrap_pair(
           net::LocalChannel::make_pair(),
           net::FaultPlan::parse("delay@0:15;dup@1"),
           net::FaultPlan::parse("part@0:2"), 9),
-      chaos0, chaos1);
+      chaos0, chaos1, chaos_d0, chaos_d1);
 
   EXPECT_EQ(tensor::max_abs_diff(clean0, chaos0), 0.0f);
   EXPECT_EQ(tensor::max_abs_diff(clean1, chaos1), 0.0f);
+  EXPECT_EQ(tensor::max_abs_diff(clean_d0, chaos_d0), 0.0f);
+  EXPECT_EQ(tensor::max_abs_diff(clean_d1, chaos_d1), 0.0f);
   expect_near(mpc::reconstruct_float(chaos0, chaos1), tensor::matmul(a, b),
               1e-2, "chaos matmul");
+  expect_near(mpc::reconstruct_float(chaos_d0, chaos_d1),
+              tensor::matmul(a, b), 1e-2, "chaos matmul step 2");
 }
 
 TEST(ChaosMatmul, CorruptionFailsFastWithTypedError) {

@@ -198,5 +198,63 @@ TEST(Compress, ConcurrentBidirectionalTraffic) {
   ASSERT_FALSE(err);
 }
 
+TEST(Compress, PairRoundTripIsOneChannelMessage) {
+  Pair p;
+  const MatrixF e = random_matrix(16, 12, 7);
+  const MatrixF f = random_matrix(12, 10, 8);
+
+  const auto msgs_before = p.chans.a->stats().messages_sent.load();
+  p.a->send_pair(5, 1, e, 2, f);
+  auto [re, rf] = p.b->recv_pair(5, 1, 2);
+
+  expect_near(re, e, 0.0, "pair first half");
+  expect_near(rf, f, 0.0, "pair second half");
+  // The whole point of the pair frame: both halves ride one channel message.
+  EXPECT_EQ(p.chans.a->stats().messages_sent.load() - msgs_before, 1u);
+  // Stats still count each half as a logical message.
+  EXPECT_EQ(p.a->stats().messages, 2u);
+}
+
+TEST(Compress, PairHalvesKeepIndependentDeltaBaselines) {
+  Pair p;
+  MatrixF e = random_matrix(32, 32, 7);
+  MatrixF f = random_matrix(32, 32, 8);
+  p.a->send_pair(5, 1, e, 2, f);
+  (void)p.b->recv_pair(5, 1, 2);
+  EXPECT_EQ(p.a->stats().compressed_messages, 0u);
+
+  // Sparse per-half deltas: both halves must compress against the baselines
+  // established by the first pair, exactly as two single sends would.
+  const MatrixF e2 = apply_sparse_delta(e, 3);
+  const MatrixF f2 = apply_sparse_delta(f, 3);
+  p.a->send_pair(5, 1, e2, 2, f2);
+  auto [re2, rf2] = p.b->recv_pair(5, 1, 2);
+
+  expect_near(re2, e2, 0.0, "pair delta first half");
+  expect_near(rf2, f2, 0.0, "pair delta second half");
+  EXPECT_EQ(p.a->stats().compressed_messages, 2u);
+  EXPECT_LT(p.a->stats().sent_bytes, p.a->stats().dense_bytes);
+}
+
+TEST(Compress, PairAndSingleSendsShareBaselinesPerKey) {
+  // A key's baseline is the same whether the matrix travels alone or as a
+  // pair half; mixing the two paths must stay exact and keep compressing.
+  Pair p;
+  MatrixF e = random_matrix(24, 24, 9);
+  p.a->send(3, 1, e);
+  (void)p.b->recv(3, 1);
+
+  const MatrixF e2 = apply_sparse_delta(e, 2);
+  const MatrixF f = random_matrix(24, 24, 10);
+  p.a->send_pair(5, 1, e2, 2, f);
+  auto [re2, rf] = p.b->recv_pair(5, 1, 2);
+
+  expect_near(re2, e2, 0.0, "delta via pair after single send");
+  expect_near(rf, f, 0.0, "fresh pair half");
+  // The first half compressed against the single-send baseline; the second
+  // half had no baseline yet and went dense.
+  EXPECT_EQ(p.a->stats().compressed_messages, 1u);
+}
+
 }  // namespace
 }  // namespace psml::compress

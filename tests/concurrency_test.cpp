@@ -261,7 +261,7 @@ TEST(TcpChannelHammer, CloseRacingBlockedRecv) {
   // Regression for the fd_ data race: close() from one thread while another
   // is blocked in recv() must atomically claim the descriptor; the blocked
   // recv fails with NetworkError instead of reading freed/reused state.
-  const std::uint16_t port = 39261;
+  const std::uint16_t port = 39266;
   std::shared_ptr<net::Channel> server;
   std::thread listener([&] { server = net::TcpChannel::listen(port); });
   auto client = net::TcpChannel::connect("127.0.0.1", port, 5.0);

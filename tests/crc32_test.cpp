@@ -1,0 +1,155 @@
+// CRC-32 / CRC-32C kernel validation: every dispatched tier must agree with
+// the byte-at-a-time table oracle bit-for-bit over random lengths,
+// alignments, and seeds, and seed-chaining must compose over discontiguous
+// buffers (the property the scatter-gather send path relies on when it
+// checksums a frame fragment by fragment).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/crc32.hpp"
+
+namespace psml {
+namespace {
+
+// RAII forced-ISA scope so a failing test cannot leak its override into
+// later suites in the same binary.
+class IsaScope {
+ public:
+  explicit IsaScope(Crc32Isa isa) : prev_(crc32_isa()) { set_crc32_isa(isa); }
+  ~IsaScope() { set_crc32_isa(prev_); }
+
+ private:
+  Crc32Isa prev_;
+};
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+// Check-value vectors: crc of the ASCII string "123456789".
+TEST(Crc32, KnownCheckValues) {
+  const char* s = "123456789";
+  EXPECT_EQ(crc32_table(s, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32c_table(s, 9), 0xE3069283u);
+  for (Crc32Isa isa :
+       {Crc32Isa::kTable, Crc32Isa::kSlice8, Crc32Isa::kHw, Crc32Isa::kAuto}) {
+    IsaScope scope(isa);
+    EXPECT_EQ(crc32(s, 9), 0xCBF43926u) << crc32_kernel_name();
+    EXPECT_EQ(crc32c(s, 9), 0xE3069283u) << crc32c_kernel_name();
+  }
+}
+
+TEST(Crc32, EmptyAndSeedIdentity) {
+  for (Crc32Isa isa :
+       {Crc32Isa::kTable, Crc32Isa::kSlice8, Crc32Isa::kHw, Crc32Isa::kAuto}) {
+    IsaScope scope(isa);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+    EXPECT_EQ(crc32c(nullptr, 0), 0u);
+    EXPECT_EQ(crc32(nullptr, 0, 0xdeadbeefu), 0xdeadbeefu);
+    EXPECT_EQ(crc32c(nullptr, 0, 0xdeadbeefu), 0xdeadbeefu);
+  }
+}
+
+// Every tier against the table oracle over random lengths (covering the
+// sub-64-byte scalar path, the fold-loop threshold, and multi-KB buffers),
+// every alignment offset 0..15, and random nonzero seeds.
+TEST(Crc32, TiersMatchTableOverLengthsAlignmentsSeeds) {
+  std::mt19937 rng(0x5eed);
+  const auto buf = random_bytes(64 * 1024 + 64, 1);
+  std::vector<std::size_t> lengths = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32,
+                                      63, 64, 65, 127, 128, 255, 4096};
+  for (int i = 0; i < 24; ++i) {
+    lengths.push_back(rng() % (48 * 1024));
+  }
+  for (Crc32Isa isa : {Crc32Isa::kSlice8, Crc32Isa::kHw}) {
+    IsaScope scope(isa);
+    for (std::size_t len : lengths) {
+      for (std::size_t align = 0; align < 16; ++align) {
+        const std::uint8_t* p = buf.data() + align;
+        const std::uint32_t seed =
+            (len % 3 == 0) ? 0u : static_cast<std::uint32_t>(rng());
+        EXPECT_EQ(crc32(p, len, seed), crc32_table(p, len, seed))
+            << "kernel=" << crc32_kernel_name() << " len=" << len
+            << " align=" << align << " seed=" << seed;
+        EXPECT_EQ(crc32c(p, len, seed), crc32c_table(p, len, seed))
+            << "kernel=" << crc32c_kernel_name() << " len=" << len
+            << " align=" << align << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// crc(A||B) == crc(B, crc(A)) for every tier and random split points —
+// including splits that land mid-word and splits into 3+ fragments, which is
+// exactly how the wire path checksums a scatter-gather frame.
+TEST(Crc32, SeedChainingOverDiscontiguousBuffers) {
+  std::mt19937 rng(0xc4a1);
+  const auto buf = random_bytes(8192, 2);
+  for (Crc32Isa isa : {Crc32Isa::kTable, Crc32Isa::kSlice8, Crc32Isa::kHw}) {
+    IsaScope scope(isa);
+    const std::uint32_t whole32 = crc32(buf.data(), buf.size());
+    const std::uint32_t whole32c = crc32c(buf.data(), buf.size());
+    for (int trial = 0; trial < 50; ++trial) {
+      // Random fragmentation into 2..6 pieces.
+      const int pieces = 2 + static_cast<int>(rng() % 5);
+      std::vector<std::size_t> cuts = {0, buf.size()};
+      for (int i = 0; i < pieces - 1; ++i) {
+        cuts.push_back(rng() % buf.size());
+      }
+      std::sort(cuts.begin(), cuts.end());
+      std::uint32_t c32 = 0, c32c = 0;
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        c32 = crc32(buf.data() + cuts[i], cuts[i + 1] - cuts[i], c32);
+        c32c = crc32c(buf.data() + cuts[i], cuts[i + 1] - cuts[i], c32c);
+      }
+      EXPECT_EQ(c32, whole32) << crc32_kernel_name();
+      EXPECT_EQ(c32c, whole32c) << crc32c_kernel_name();
+    }
+  }
+}
+
+// A forced tier the CPU lacks must silently fall back, never crash; the
+// resolved kernel name reflects what actually runs.
+TEST(Crc32, ForcedHwFallsBackWhenUnavailable) {
+  IsaScope scope(Crc32Isa::kHw);
+  if (!crc32_hw_available()) {
+    EXPECT_STREQ(crc32_kernel_name(), "slice8");
+  } else {
+    EXPECT_STREQ(crc32_kernel_name(), "pclmul");
+  }
+  if (!crc32c_hw_available()) {
+    EXPECT_STREQ(crc32c_kernel_name(), "slice8");
+  } else {
+    EXPECT_STREQ(crc32c_kernel_name(), "sse42");
+  }
+  // Whatever resolved, the answer is still right.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32c(s, 9), 0xE3069283u);
+}
+
+TEST(Crc32, SingleBitFlipChangesCrc) {
+  auto buf = random_bytes(1024, 3);
+  const std::uint32_t clean32 = crc32(buf.data(), buf.size());
+  const std::uint32_t clean32c = crc32c(buf.data(), buf.size());
+  std::mt19937 rng(4);
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t byte = rng() % buf.size();
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << (rng() % 8));
+    buf[byte] ^= bit;
+    EXPECT_NE(crc32(buf.data(), buf.size()), clean32);
+    EXPECT_NE(crc32c(buf.data(), buf.size()), clean32c);
+    buf[byte] ^= bit;
+  }
+}
+
+}  // namespace
+}  // namespace psml

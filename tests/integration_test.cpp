@@ -53,7 +53,7 @@ TEST(Integration, TcpBackendMatchesLocalBackend) {
   auto local = net::LocalChannel::make_pair();
   const MatrixF via_local = run_with(local.a, local.b);
 
-  const std::uint16_t port = 39261;
+  const std::uint16_t port = 39267;
   std::shared_ptr<net::Channel> srv;
   std::thread listener([&] { srv = net::TcpChannel::listen(port); });
   auto cli = net::TcpChannel::connect("127.0.0.1", port, 5.0);

@@ -1,0 +1,35 @@
+// Fixture for the raw-socket-io rule: socket syscalls outside src/net/
+// bypass Channel framing (checksums, sequencing, reconnect) and must be
+// flagged; qualified and member `send`/`recv` calls are the sanctioned
+// Channel path and must stay clean.
+#include <cstddef>
+
+void leaky_raw_syscalls(int fd, void* p, std::size_t n) {
+  ::send(fd, p, n, 0);                  // EXPECT: raw-socket-io
+  ::recv(fd, p, n, 0);                  // EXPECT: raw-socket-io
+  ::sendto(fd, p, n, 0, nullptr, 0);    // EXPECT: raw-socket-io
+  writev(fd, nullptr, 1);               // EXPECT: raw-socket-io
+  sendmsg(fd, nullptr, 0);              // EXPECT: raw-socket-io
+  recvmsg(fd, nullptr, 0);              // EXPECT: raw-socket-io
+  readv(fd, nullptr, 1);                // EXPECT: raw-socket-io
+}
+
+// Clean twins: member and namespace-qualified sends are the Channel API, not
+// socket syscalls.
+struct FakeChannel {
+  void send(int tag, const void* body);
+  void recv(int tag);
+  static void recv_all();
+};
+
+void sanctioned_channel_calls(FakeChannel& ch) {
+  ch.send(1, nullptr);
+  ch.recv(1);
+  FakeChannel::recv_all();
+}
+
+namespace wrapped {
+void send(int tag);
+}
+
+void qualified_wrapper_call() { wrapped::send(3); }

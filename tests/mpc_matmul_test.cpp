@@ -133,6 +133,40 @@ INSTANTIATE_TEST_SUITE_P(Modes, SecureMatmulModes,
                          ::testing::ValuesIn(all_modes()),
                          [](const auto& info) { return info.param.name; });
 
+TEST(SecureMatmul, CoalescedExchangeIsOneMessagePerParty) {
+  // The E/F reconstruction sends both masked operands in ONE coalesced
+  // channel message per direction (half the frames, half the syscalls).
+  const std::size_t m = 8, k = 8, n = 8;
+  const MatrixF a = random_matrix(m, k, 301);
+  const MatrixF b = random_matrix(k, n, 302);
+
+  PartyOptions opts = PartyOptions::parsecureml();
+  opts.use_gpu = false;
+  opts.adaptive = false;
+
+  TripletDealer dealer(nullptr, {false, false, 77});
+  auto [t0, t1] = dealer.make_matmul(m, k, n);
+  const auto sa = share_float(a, 21);
+  const auto sb = share_float(b, 22);
+
+  MatrixF c0, c1;
+  std::uint64_t sent0 = 0, sent1 = 0;
+  run_parties(
+      opts,
+      [&](PartyContext& ctx) {
+        c0 = secure_matmul(ctx, sa.s0, sb.s0, t0);
+        sent0 = ctx.peer().stats().messages_sent.load();
+      },
+      [&](PartyContext& ctx) {
+        c1 = secure_matmul(ctx, sa.s1, sb.s1, t1);
+        sent1 = ctx.peer().stats().messages_sent.load();
+      });
+
+  EXPECT_EQ(sent0, 1u);
+  EXPECT_EQ(sent1, 1u);
+  expect_near(reconstruct_float(c0, c1), tensor::matmul(a, b), tol(k));
+}
+
 TEST(SecureMatmul, NonSquareShapes) {
   const std::size_t m = 3, k = 57, n = 21;
   const MatrixF a = random_matrix(m, k, 206);

@@ -388,6 +388,32 @@ void check_naked_thread(const std::string& path,
   }
 }
 
+// ---- rule: raw-socket-io ----------------------------------------------------
+
+// Socket syscalls bypass Channel framing — checksums, sequencing, reconnect,
+// and the zero-copy WireBuf path — so only the net backends may touch them.
+// `::send(` / `::recv(` must be the global-namespace syscalls: a preceding
+// identifier character or ':' means a qualified method (Endpoint::send,
+// Channel::recv) and stays legal, as do member calls (`ch.send(`), which have
+// no `::` at all. The iovec family has no method homonyms in this codebase,
+// so bare identifiers are flagged.
+void check_raw_socket_io(const std::string& path,
+                         const std::vector<std::string>& clean,
+                         std::vector<Violation>& out) {
+  if (path_contains(path, "src/net/")) return;
+  static const std::regex re(
+      R"((^|[^A-Za-z0-9_:])::(send|recv|sendto|recvfrom)\s*\()"
+      R"(|\b(writev|readv|sendmsg|recvmsg)\s*\()");
+  for (std::size_t ln = 0; ln < clean.size(); ++ln) {
+    if (std::regex_search(clean[ln], re)) {
+      out.push_back({path, ln + 1, "raw-socket-io",
+                     "raw socket I/O outside src/net/ — go through a "
+                     "net::Channel so framing, checksums, and reconnect "
+                     "semantics stay in one place"});
+    }
+  }
+}
+
 const std::vector<RuleInfo> kRules = {
     {"ring-raw-arith",
      "Raw +/-/* on ring share words outside src/mpc/ring.* — use the audited "
@@ -400,6 +426,9 @@ const std::vector<RuleInfo> kRules = {
      "path"},
     {"naked-thread",
      "Raw thread construction outside the owned concurrency primitives"},
+    {"raw-socket-io",
+     "Raw socket syscalls (::send/::recv/writev/sendmsg/...) outside "
+     "src/net/ bypass Channel framing"},
 };
 
 }  // namespace
@@ -460,6 +489,7 @@ int main(int argc, char** argv) {
     check_rng(path, clean, violations);
     check_secret_logging(path, clean, violations);
     check_naked_thread(path, clean, violations);
+    check_raw_socket_io(path, clean, violations);
   }
 
   return psml::lint::report_and_finish(ropts, kRules, violations, allow,

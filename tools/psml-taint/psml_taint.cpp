@@ -353,6 +353,7 @@ void scan_secret_returns(const std::vector<std::string>& clean, Model& model) {
         // Only names with the secret type strictly before them (return type
         // position), never keywords.
         if (!name.empty() && !keywords().count(name) &&
+            name != "move" && name != "forward" &&
             e + 1 > earliest + name.size() &&
             !model.secret_types.count(name)) {
           model.secret_fns.insert(name);
@@ -619,13 +620,21 @@ class FnAnalysis {
     const bool is_call_head =
         skip_spaces_fwd(s, i) < s.size() && s[skip_spaces_fwd(s, i)] == '(';
     if (is_call_head) {
-      if (model_.secret_fns.count(root) || model_.secret_types.count(root)) {
-        t |= kSecret;
-      }
       i = skip_spaces_fwd(s, i);
       const std::size_t end = match_paren(s, i);
       const std::string args_text =
           end == std::string::npos ? "" : s.substr(i + 1, end - i - 2);
+      // std::move / std::forward are transparent: their taint is exactly the
+      // argument's. They must never pick up secret_fns/summary entries (a
+      // brace-init like `TripletShare{std::move(x), ...}` would otherwise
+      // poison `move` as a secret-returning function for the whole tree).
+      if (root == "move" || root == "forward") {
+        *next = end == std::string::npos ? s.size() : end;
+        return expr_taint(args_text, 1);
+      }
+      if (model_.secret_fns.count(root) || model_.secret_types.count(root)) {
+        t |= kSecret;
+      }
       const Summary* sum =
           model_.find_summary(root, split_args(args_text).size());
       if (sum && sum->returns_secret) t |= kSecret;
