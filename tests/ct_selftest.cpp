@@ -1,0 +1,116 @@
+// Golden-fixture selftest for psml-ct, the constant-time / implicit-flow
+// analyzer. Mirrors lint_selftest.cpp (shared harness in selftest_util.hpp):
+// fixtures under tests/lint_fixtures/ct/ mark every line that MUST be
+// reported with `// EXPECT: <rule-id>` next to clean twins, and the reported
+// (file, line, rule) set must equal the EXPECT set exactly. Also validates
+// the SARIF log CI uploads, allowlist suppression, and the combined
+// three-tool allowlist budget (psml-lint + psml-taint + psml-ct share one
+// <=10-entry budget; see docs/ANALYSIS.md).
+//
+// Invocation (wired up in tests/CMakeLists.txt):
+//   ct_selftest <psml-ct> <fixtures-dir> <lint-allowlist> <taint-allowlist>
+//               <ct-allowlist>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "selftest_util.hpp"
+
+namespace fs = std::filesystem;
+using namespace psml::selftest;
+
+namespace {
+
+std::string g_ct_bin;
+fs::path g_fixtures;
+fs::path g_allowlists[3];  // psml-lint, psml-taint, psml-ct (repo copies)
+
+}  // namespace
+
+TEST(CtSelftest, CtFixturesExactMatch) {
+  const fs::path dir = g_fixtures / "ct";
+  const ToolRun r = run_tool(g_ct_bin + " " + dir.string());
+  expect_same_findings(parse_findings(r.output), expected_findings(dir));
+  EXPECT_NE(r.exit_code, 0) << "seeded violations must fail the run";
+}
+
+TEST(CtSelftest, EveryRuleClassIsSeeded) {
+  // Guards the fixture tree itself: each of the four finding classes must
+  // keep at least one seeded leak, or a regression in that rule would pass
+  // the exact-match test vacuously.
+  const auto want = expected_findings(g_fixtures / "ct");
+  for (const char* rule : {"secret-branch", "secret-index",
+                           "variable-latency", "non-ct-declassify"}) {
+    bool seeded = false;
+    for (const auto& [file, line, r] : want) seeded |= (r == rule);
+    EXPECT_TRUE(seeded) << "no fixture seeds [" << rule << "]";
+  }
+}
+
+TEST(CtSelftest, CtSarifValid) {
+  const fs::path dir = g_fixtures / "ct";
+  const fs::path sarif = temp_file("psml_selftest_ct.sarif");
+  run_tool(g_ct_bin + " --sarif " + sarif.string() + " " + dir.string());
+  EXPECT_EQ(check_sarif(sarif, "psml-ct"), expected_findings(dir).size());
+  fs::remove(sarif);
+}
+
+TEST(CtSelftest, AllowlistSuppressesAndMarksSarif) {
+  const fs::path dir = g_fixtures / "ct";
+  const fs::path allow = temp_file("psml_selftest_ct_allow.txt");
+  {
+    std::ofstream os(allow);
+    // cross_file_gate_caller.cpp carries exactly one secret-branch finding.
+    os << "secret-branch cross_file_gate_caller.cpp fixture: suppression\n";
+  }
+  const fs::path sarif = temp_file("psml_selftest_ct_suppressed.sarif");
+  const ToolRun r = run_tool(g_ct_bin + " --allowlist " + allow.string() +
+                             " --sarif " + sarif.string() + " " +
+                             dir.string());
+
+  std::set<Finding> want = expected_findings(dir);
+  want.erase({"cross_file_gate_caller.cpp", 6, "secret-branch"});
+  expect_same_findings(parse_findings(r.output), want);
+  EXPECT_NE(r.output.find("1 allowlisted"), std::string::npos) << r.output;
+
+  EXPECT_EQ(check_sarif(sarif, "psml-ct"), want.size() + 1);
+  EXPECT_NE(read_file(sarif).find("\"suppressions\""), std::string::npos);
+  fs::remove(allow);
+  fs::remove(sarif);
+}
+
+TEST(CtSelftest, CombinedAllowlistBudgetWithinTen) {
+  // The three analyzers budget suppressions jointly: 10 entries total across
+  // the repo, enforced here because each tool alone only checks its own file.
+  std::size_t total = 0;
+  for (const auto& p : g_allowlists) {
+    ASSERT_TRUE(fs::exists(p)) << p << " missing";
+    const std::size_t n = count_allowlist_entries(p);
+    std::printf("  %s: %zu entr%s\n", p.string().c_str(), n,
+                n == 1 ? "y" : "ies");
+    total += n;
+  }
+  EXPECT_LE(total, 10u)
+      << "combined psml-lint/psml-taint/psml-ct allowlist budget exceeded; "
+         "fix or annotate the code instead of suppressing";
+}
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc < 6) {
+    std::fprintf(stderr,
+                 "usage: ct_selftest CT_BIN FIXTURE_DIR LINT_ALLOWLIST "
+                 "TAINT_ALLOWLIST CT_ALLOWLIST\n");
+    return 2;
+  }
+  g_ct_bin = argv[1];
+  g_fixtures = argv[2];
+  g_allowlists[0] = argv[3];
+  g_allowlists[1] = argv[4];
+  g_allowlists[2] = argv[5];
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,10 @@
+// Interprocedural fixture, callee half: a helper that branches on its
+// parameter records a ct-bit in the cross-TU summary. Callers feeding it a
+// secret are flagged (see cross_file_gate_caller.cpp).
+
+float relu_gate(float v) {
+  if (v > 0.0f) {  // records the ct-bit for parameter 0
+    return v;
+  }
+  return 0.0f;
+}

@@ -1,0 +1,11 @@
+// Interprocedural fixture, caller half: feeding a secret into a function
+// that branches on the parameter (cross_file_gate.cpp) leaks through the
+// callee's timing even though this file contains no branch at all.
+
+float leak_via_callee(const SharePair& p) {
+  return relu_gate(p.a.data()[0]);  // EXPECT: secret-branch
+}
+
+float clean_via_callee(float pub) {
+  return relu_gate(pub);  // clean: public argument
+}

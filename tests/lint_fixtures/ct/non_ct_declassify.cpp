@@ -1,0 +1,28 @@
+// non-ct-declassify fixture: opening a value under (or computed under) a
+// secret branch reveals the branch condition — the declassification is
+// wider than annotated. Declassifying the condition first must pass.
+
+float leak_declassify_under_branch(const SharePair& p, const SharePair& q) {
+  float out = 0.0f;
+  if (p.a.data()[0] > 0.0f) {  // EXPECT: secret-branch
+    out = declassify(q.a.data()[0]);  // EXPECT: non-ct-declassify
+  }
+  return out;
+}
+
+float leak_implicit_join(const SharePair& p) {
+  float flag = 0.0f;
+  if (p.a.data()[0] > 0.0f) {  // EXPECT: secret-branch
+    flag = 1.0f;
+  }
+  return declassify(flag);  // EXPECT: non-ct-declassify
+}
+
+float clean_declassified_condition(const SharePair& p, const SharePair& q) {
+  const float cond = declassify(p.a.data()[0]);
+  float out = 0.0f;
+  if (cond > 0.0f) {  // clean: the condition itself was declassified
+    out = declassify(q.a.data()[0]);  // clean: public control flow
+  }
+  return out;
+}

@@ -1,0 +1,40 @@
+// secret-branch fixture: control flow steered by secret data must be
+// flagged; branching on opened (reconstructed/declassified) values must
+// pass. Covers if / while / ternary plus the else-inherits-the-condition
+// rule.
+
+float leak_if(const SharePair& p) {
+  float acc = 0.0f;
+  if (p.a.data()[0] > 0.0f) {  // EXPECT: secret-branch
+    acc = 1.0f;
+  }
+  return acc;
+}
+
+int leak_while(const TripletShare& t) {
+  int spins = 0;
+  while (t.u.data()[0] > 0.5f) {  // EXPECT: secret-branch
+    ++spins;
+  }
+  return spins;
+}
+
+float leak_ternary(const SharePair& p, float hi, float lo) {
+  return p.a.data()[0] > 0.0f ? hi : lo;  // EXPECT: secret-branch
+}
+
+float clean_branch_on_opened(const SharePair& p) {
+  MatrixF open = reconstruct_float(p.a, p.b);
+  if (open.data()[0] > 0.0f) {  // clean: the value was opened first
+    return 1.0f;
+  }
+  return 0.0f;
+}
+
+float clean_public_loop(const MatrixF& pub) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < pub.size(); ++i) {  // clean: public trip count
+    acc += pub.data()[i];
+  }
+  return acc;
+}

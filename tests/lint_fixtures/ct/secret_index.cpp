@@ -1,0 +1,27 @@
+// secret-index fixture: memory access patterns steered by secret-derived
+// indices must be flagged (subscript, .at(), pointer arithmetic); public
+// indexing of secret containers must pass.
+
+float leak_subscript(const MatrixF& table, const SharePair& p) {
+  std::size_t idx = static_cast<std::size_t>(p.a.data()[0]);
+  return table.data()[idx];  // EXPECT: secret-index
+}
+
+float leak_at(const std::vector<float>& v, const TripletShare& t) {
+  std::size_t idx = static_cast<std::size_t>(t.u.data()[0]);
+  return v.at(idx);  // EXPECT: secret-index
+}
+
+float leak_pointer_arith(const float* base, const SharePair& p) {
+  std::size_t off = static_cast<std::size_t>(p.a.data()[0]);
+  return *(base + off);  // EXPECT: secret-index
+}
+
+float clean_public_index(const SharePair& p, std::size_t i) {
+  return p.a.data()[i];  // clean: secret data, public index
+}
+
+float clean_structured_binding(TripletStore& store) {
+  auto [lo, hi] = store.pop_activation().bounds();
+  return lo + hi;  // clean: structured binding is not a subscript
+}

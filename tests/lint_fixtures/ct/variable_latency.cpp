@@ -1,0 +1,40 @@
+// variable-latency fixture: division/modulo, early-exit comparisons, and
+// short-circuit operators on secret operands must be flagged; public
+// operands and the vetted constant-time ring helpers must pass.
+
+float leak_division(const SharePair& p, float denom) {
+  return p.a.data()[0] / denom;  // EXPECT: variable-latency
+}
+
+std::uint64_t leak_modulo(const TripletShare& t, std::uint64_t m) {
+  return static_cast<std::uint64_t>(t.u.data()[0]) % m;  // EXPECT: variable-latency
+}
+
+bool leak_early_exit(const SharePair& p, const SharePair& q) {
+  return memcmp(p.a.data(), q.a.data(), 16) == 0;  // EXPECT: variable-latency
+}
+
+bool leak_short_circuit(bool pub, const SharePair& p) {
+  bool secret_flag = p.a.data()[0] > 0.5f;
+  return pub && secret_flag;  // EXPECT: variable-latency
+}
+
+// Same shape as the vetted ring_scale_share: the body divides, but the
+// implementation is audited constant-time (table entry), so neither the
+// body nor calls feeding it secrets are flagged.
+std::uint64_t ring_scale_share(std::uint64_t share, std::uint64_t c) {
+  return share / c;  // clean: vetted constant-time table entry
+}
+
+std::uint64_t clean_vetted_call(const TripletShare& t) {
+  return ring_scale_share(static_cast<std::uint64_t>(t.u.data()[0]), 3);  // clean
+}
+
+std::size_t clean_public_division(std::size_t bytes) {
+  return bytes / sizeof(float);  // clean: both operands public
+}
+
+bool clean_rvalue_ref(TripletShare&& t, std::vector<TripletShare>& sink) {
+  sink.push_back(static_cast<TripletShare&&>(t));  // clean: && is a type, not an operator
+  return true;
+}

@@ -1,0 +1,17 @@
+// Declassifier-misuse fixture: declassify() is an audited escape hatch, so
+// a call on a provably-public value is a no-op that dilutes the audit
+// surface; declassifying genuinely secret values is its purpose and passes.
+
+float useless(const MatrixF& pub) {
+  float metadata = static_cast<float>(pub.rows());
+  return declassify(metadata);  // EXPECT: useless-declassify
+}
+
+float useless_double(const SharePair& p) {
+  float opened = declassify(p.a.data()[0]);
+  return declassify(opened);  // EXPECT: useless-declassify
+}
+
+float intended(const SharePair& p) {
+  return declassify(p.a.data()[0]);  // clean: a real secret->public transition
+}

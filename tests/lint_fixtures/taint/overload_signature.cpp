@@ -1,0 +1,23 @@
+// Summary-keying regression fixture: two same-name, same-arity overloads
+// with different parameter types must keep separate cross-TU summaries.
+// Before signature keying, the (Channel&, MatrixF) overload's sink bit
+// cross-poisoned the (Stats&, MatrixF) overload and flagged emit(st, raw)
+// below.
+
+void emit(Channel& ch, const MatrixF& m) {
+  ch.send(9, m);  // channel sink: parameter 1 lands on the wire
+}
+
+void emit(Stats& st, const MatrixF& m) {
+  st.accumulate(m);  // no sink: local aggregation only
+}
+
+void overload_leak(Channel& ch, const SharePair& p) {
+  MatrixF raw = p.a;
+  emit(ch, raw);  // EXPECT: taint-to-channel
+}
+
+void overload_clean(Stats& st, const SharePair& p) {
+  MatrixF raw = p.a;
+  emit(st, raw);  // clean: this overload never touches the wire
+}

@@ -1,0 +1,20 @@
+// reconstruct-before-mask fixture: in a function that masks with triplet
+// members, opening an operand share before (or without) its E_i = A_i - U_i
+// masking step reveals the raw input; opening the masked difference is the
+// protocol's reconstruct step and passes.
+
+void open_raw_operand(Channel& ch, const MatrixF& x_i, const MatrixF& x_peer,
+                      const TripletShare& t) {
+  MatrixF opened = reconstruct_float(x_i, x_peer);  // EXPECT: reconstruct-before-mask
+  MatrixF e_i;
+  sub(x_i, t.u, e_i);
+  ch.send(3, e_i);
+}
+
+void open_masked_difference(Channel& ch, const MatrixF& x_i,
+                            const MatrixF& e_peer, const TripletShare& t) {
+  MatrixF e_i;
+  sub(x_i, t.u, e_i);
+  MatrixF e = reconstruct_float(e_i, e_peer);  // clean: E is the blinded value
+  ch.send(4, e);
+}

@@ -5,8 +5,10 @@
 // selftest runs each checker over its fixture subtree and asserts the
 // reported (file, line, rule) set equals the EXPECT set exactly — a missed
 // seeded leak and a false positive on a clean twin both fail. It also
-// validates the SARIF output the CI job uploads and the allowlist
-// budget/suppression mechanics.
+// validates the SARIF output the CI job uploads, the allowlist
+// budget/suppression mechanics, and the stripping pass the token analyses
+// run on (psml-ct has its own selftest in ct_selftest.cpp on the same
+// harness, tests/selftest_util.hpp).
 //
 // Invocation (wired up in tests/CMakeLists.txt):
 //   lint_selftest <psml-lint> <psml-taint> <fixtures-dir>
@@ -14,168 +16,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <cstdlib>
-#include <filesystem>
 #include <fstream>
-#include <regex>
 #include <set>
-#include <sstream>
 #include <string>
-#include <tuple>
 #include <vector>
 
-#include "json_mini.hpp"
+#include "lint_common.hpp"
+#include "selftest_util.hpp"
 
 namespace fs = std::filesystem;
-
-// check_sarif wants to bail out of a helper (not the TEST body), where
-// ASSERT_* cannot return a value; this wraps the pattern.
-#define ASSERT_NE_OR_RETURN(ptr)       \
-  EXPECT_TRUE(ptr) << #ptr " missing"; \
-  if (!(ptr)) return 0
+using namespace psml::selftest;
 
 namespace {
 
 std::string g_lint_bin;
 std::string g_taint_bin;
 fs::path g_fixtures;
-
-struct ToolRun {
-  std::string output;
-  int exit_code = -1;
-};
-
-// Runs `cmd` with stderr folded into stdout; captures everything.
-ToolRun run_tool(const std::string& cmd) {
-  ToolRun r;
-  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
-  if (!pipe) return r;
-  char buf[4096];
-  std::size_t n = 0;
-  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
-    r.output.append(buf, n);
-  }
-  const int status = pclose(pipe);
-  r.exit_code = status < 0 ? -1 : WEXITSTATUS(status);
-  return r;
-}
-
-// (basename, line, rule) — basenames are unique across the fixture tree, and
-// comparing basenames sidesteps absolute-vs-relative path differences
-// between what ctest passes and what the tool prints.
-using Finding = std::tuple<std::string, std::size_t, std::string>;
-
-std::set<Finding> parse_findings(const std::string& output) {
-  std::set<Finding> out;
-  static const std::regex line_re(R"(^(.*):(\d+): \[([a-z0-9-]+)\])");
-  std::istringstream is(output);
-  std::string line;
-  while (std::getline(is, line)) {
-    std::smatch m;
-    if (std::regex_search(line, m, line_re)) {
-      out.insert({fs::path(m[1].str()).filename().string(),
-                  static_cast<std::size_t>(std::stoul(m[2].str())),
-                  m[3].str()});
-    }
-  }
-  return out;
-}
-
-std::set<Finding> expected_findings(const fs::path& dir) {
-  std::set<Finding> out;
-  for (const auto& ent : fs::recursive_directory_iterator(dir)) {
-    if (!ent.is_regular_file()) continue;
-    const std::string ext = ent.path().extension().string();
-    if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc") {
-      continue;
-    }
-    std::ifstream is(ent.path());
-    std::string line;
-    std::size_t ln = 0;
-    static const std::regex expect_re(R"(//\s*EXPECT:\s*([a-z0-9-]+))");
-    while (std::getline(is, line)) {
-      ++ln;
-      std::smatch m;
-      if (std::regex_search(line, m, expect_re)) {
-        out.insert({ent.path().filename().string(), ln, m[1].str()});
-      }
-    }
-  }
-  return out;
-}
-
-std::string describe(const std::set<Finding>& s) {
-  std::ostringstream os;
-  for (const auto& [file, line, rule] : s) {
-    os << "  " << file << ":" << line << " [" << rule << "]\n";
-  }
-  return os.str();
-}
-
-void expect_same_findings(const std::set<Finding>& got,
-                          const std::set<Finding>& want) {
-  EXPECT_EQ(got, want) << "reported:\n"
-                       << describe(got) << "expected:\n"
-                       << describe(want);
-}
-
-std::string read_file(const fs::path& p) {
-  std::ifstream is(p, std::ios::binary);
-  std::ostringstream os;
-  os << is.rdbuf();
-  return os.str();
-}
-
-fs::path temp_file(const std::string& name) {
-  return fs::temp_directory_path() / name;
-}
-
-// Validates the SARIF log at `path` against the 2.1.0 shape CI uploads and
-// returns the run's results array size (reported + suppressed).
-std::size_t check_sarif(const fs::path& path, const std::string& tool_name) {
-  std::string err;
-  const auto root = psml::lint::json::parse(read_file(path), err);
-  EXPECT_TRUE(root) << "SARIF parse error: " << err;
-  if (!root) return 0;
-  using psml::lint::json::Kind;
-
-  const auto* version = root->get("version");
-  ASSERT_NE_OR_RETURN(version);
-  EXPECT_EQ(version->str, "2.1.0");
-  EXPECT_TRUE(root->get("$schema"));
-
-  const auto* runs = root->get("runs");
-  EXPECT_TRUE(runs && runs->is(Kind::kArray) && runs->array.size() == 1);
-  if (!runs || runs->array.empty()) return 0;
-  const auto* run = runs->at(0);
-
-  const auto* driver =
-      run->get("tool") ? run->get("tool")->get("driver") : nullptr;
-  EXPECT_TRUE(driver) << "runs[0].tool.driver missing";
-  if (!driver) return 0;
-  EXPECT_EQ(driver->get("name") ? driver->get("name")->str : "", tool_name);
-  const auto* rules = driver->get("rules");
-  EXPECT_TRUE(rules && rules->is(Kind::kArray) && !rules->array.empty());
-
-  const auto* results = run->get("results");
-  EXPECT_TRUE(results && results->is(Kind::kArray));
-  if (!results) return 0;
-  for (const auto& res : results->array) {
-    const auto* rule_id = res->get("ruleId");
-    EXPECT_TRUE(rule_id && rule_id->is(Kind::kString));
-    const auto* msg = res->get("message");
-    EXPECT_TRUE(msg && msg->get("text"));
-    const auto* locs = res->get("locations");
-    EXPECT_TRUE(locs && locs->is(Kind::kArray) && locs->array.size() == 1);
-    if (!locs || locs->array.empty()) continue;
-    const auto* phys = locs->at(0)->get("physicalLocation");
-    EXPECT_TRUE(phys && phys->get("artifactLocation") &&
-                phys->get("artifactLocation")->get("uri"));
-    EXPECT_TRUE(phys && phys->get("region") &&
-                phys->get("region")->get("startLine"));
-  }
-  return results->array.size();
-}
 
 }  // namespace
 
@@ -249,6 +105,83 @@ TEST(LintSelftest, AllowlistBudgetIsHardError) {
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.output.find("budget"), std::string::npos) << r.output;
   fs::remove(allow);
+}
+
+// --- strip_source unit tests ------------------------------------------------
+// The analyzers all tokenize the stripped view, so a stripper desync silently
+// blinds every rule downstream of the bad line. These pin the two lexing
+// subtleties that have bitten: digit separators (a ' that is NOT a char
+// literal) and raw string literals (whose content must not toggle string /
+// comment state).
+
+TEST(StripSource, DigitSeparatorsAreNotCharLiterals) {
+  const std::vector<std::string> in{
+      "std::uint64_t mod = 1'000'003;",
+      "auto mask = 0xFFFF'FFFF'0000'0000ull % secret;",
+      "ch.send(0, secret);",
+  };
+  const auto out = psml::lint::strip_source(in);
+  // Separators are literal code characters; nothing on these lines is
+  // string/comment content, so the lines survive verbatim.
+  EXPECT_EQ(out[0], in[0]);
+  EXPECT_EQ(out[1], in[1]);
+  // A mis-lexed separator would open a bogus char literal and swallow the
+  // following statement; the sink call must stay visible.
+  EXPECT_EQ(out[2], in[2]);
+}
+
+TEST(StripSource, CharLiteralsStillBlankAroundSeparators) {
+  const std::vector<std::string> in{
+      "if (tag == 'x') { count += 10'000; }",
+  };
+  const auto out = psml::lint::strip_source(in);
+  // The real char literal is blanked (quotes kept), the separator is not.
+  EXPECT_EQ(out[0], "if (tag == ' ') { count += 10'000; }");
+}
+
+TEST(StripSource, RawStringsBlankWithoutDesync) {
+  const std::vector<std::string> in{
+      "auto re = R\"(quote \" slash // brace { still literal)\";",
+      "ch.send(1, secret);",
+  };
+  const auto out = psml::lint::strip_source(in);
+  // Raw content (including the embedded quote and //) is blanked without
+  // terminating at the embedded quote or opening a line comment.
+  EXPECT_EQ(out[0].find('{'), std::string::npos) << out[0];
+  EXPECT_NE(out[0].find("auto re = "), std::string::npos) << out[0];
+  EXPECT_EQ(out[1], in[1]);
+}
+
+TEST(StripSource, RawStringDelimitersAndEncodingPrefixes) {
+  const std::vector<std::string> in{
+      "auto a = u8R\"sep(not closed by )\" alone)sep\"; int live = 1;",
+      "auto b = LR\"(x)\"; int also_live = 2;",
+      "int fooR = 3; auto s = \"plainR\"; int tailR = 4;",
+  };
+  const auto out = psml::lint::strip_source(in);
+  // d-char-seq delimited raw string: the bare )" inside must not close it.
+  EXPECT_NE(out[0].find("int live = 1;"), std::string::npos) << out[0];
+  EXPECT_EQ(out[0].find("alone"), std::string::npos) << out[0];
+  // Encoding prefixes (LR, u8R, ...) are recognized as raw-string openers.
+  EXPECT_NE(out[1].find("int also_live = 2;"), std::string::npos) << out[1];
+  EXPECT_EQ(out[1].find('x'), std::string::npos) << out[1];
+  // An identifier merely ending in R does not start a raw string; the
+  // following ordinary string is still blanked normally.
+  EXPECT_NE(out[2].find("int fooR = 3;"), std::string::npos) << out[2];
+  EXPECT_EQ(out[2].find("plainR"), std::string::npos) << out[2];
+  EXPECT_NE(out[2].find("int tailR = 4;"), std::string::npos) << out[2];
+}
+
+TEST(StripSource, MultiLineRawStringKeepsLineCount) {
+  const std::vector<std::string> in{
+      "auto doc = R\"(first",
+      "  \"second\" // not a comment",
+      ")\"; int after = 5;",
+  };
+  const auto out = psml::lint::strip_source(in);
+  ASSERT_EQ(out.size(), in.size());  // line numbers must stay stable
+  EXPECT_EQ(out[1].find("second"), std::string::npos) << out[1];
+  EXPECT_NE(out[2].find("int after = 5;"), std::string::npos) << out[2];
 }
 
 int main(int argc, char** argv) {

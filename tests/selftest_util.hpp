@@ -1,0 +1,180 @@
+// Shared harness for the analyzer golden-fixture selftests (lint_selftest,
+// ct_selftest): tool invocation, EXPECT-marker parsing, exact-match
+// assertion, and SARIF 2.1.0 shape validation.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "json_mini.hpp"
+
+// check_sarif wants to bail out of a helper (not the TEST body), where
+// ASSERT_* cannot return a value; this wraps the pattern.
+#define ASSERT_NE_OR_RETURN(ptr)       \
+  EXPECT_TRUE(ptr) << #ptr " missing"; \
+  if (!(ptr)) return 0
+
+namespace psml::selftest {
+
+namespace fs = std::filesystem;
+
+struct ToolRun {
+  std::string output;
+  int exit_code = -1;
+};
+
+// Runs `cmd` with stderr folded into stdout; captures everything.
+inline ToolRun run_tool(const std::string& cmd) {
+  ToolRun r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (!pipe) return r;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    r.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = status < 0 ? -1 : WEXITSTATUS(status);
+  return r;
+}
+
+// (basename, line, rule) — basenames are unique across the fixture tree, and
+// comparing basenames sidesteps absolute-vs-relative path differences
+// between what ctest passes and what the tool prints.
+using Finding = std::tuple<std::string, std::size_t, std::string>;
+
+inline std::set<Finding> parse_findings(const std::string& output) {
+  std::set<Finding> out;
+  static const std::regex line_re(R"(^(.*):(\d+): \[([a-z0-9-]+)\])");
+  std::istringstream is(output);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::smatch m;
+    if (std::regex_search(line, m, line_re)) {
+      out.insert({fs::path(m[1].str()).filename().string(),
+                  static_cast<std::size_t>(std::stoul(m[2].str())),
+                  m[3].str()});
+    }
+  }
+  return out;
+}
+
+inline std::set<Finding> expected_findings(const fs::path& dir) {
+  std::set<Finding> out;
+  for (const auto& ent : fs::recursive_directory_iterator(dir)) {
+    if (!ent.is_regular_file()) continue;
+    const std::string ext = ent.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    std::ifstream is(ent.path());
+    std::string line;
+    std::size_t ln = 0;
+    static const std::regex expect_re(R"(//\s*EXPECT:\s*([a-z0-9-]+))");
+    while (std::getline(is, line)) {
+      ++ln;
+      std::smatch m;
+      if (std::regex_search(line, m, expect_re)) {
+        out.insert({ent.path().filename().string(), ln, m[1].str()});
+      }
+    }
+  }
+  return out;
+}
+
+inline std::string describe(const std::set<Finding>& s) {
+  std::ostringstream os;
+  for (const auto& [file, line, rule] : s) {
+    os << "  " << file << ":" << line << " [" << rule << "]\n";
+  }
+  return os.str();
+}
+
+inline void expect_same_findings(const std::set<Finding>& got,
+                                 const std::set<Finding>& want) {
+  EXPECT_EQ(got, want) << "reported:\n"
+                       << describe(got) << "expected:\n"
+                       << describe(want);
+}
+
+inline std::string read_file(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+inline fs::path temp_file(const std::string& name) {
+  return fs::temp_directory_path() / name;
+}
+
+// Validates the SARIF log at `path` against the 2.1.0 shape CI uploads and
+// returns the run's results array size (reported + suppressed).
+inline std::size_t check_sarif(const fs::path& path,
+                               const std::string& tool_name) {
+  std::string err;
+  const auto root = psml::lint::json::parse(read_file(path), err);
+  EXPECT_TRUE(root) << "SARIF parse error: " << err;
+  if (!root) return 0;
+  using psml::lint::json::Kind;
+
+  const auto* version = root->get("version");
+  ASSERT_NE_OR_RETURN(version);
+  EXPECT_EQ(version->str, "2.1.0");
+  EXPECT_TRUE(root->get("$schema"));
+
+  const auto* runs = root->get("runs");
+  EXPECT_TRUE(runs && runs->is(Kind::kArray) && runs->array.size() == 1);
+  if (!runs || runs->array.empty()) return 0;
+  const auto* run = runs->at(0);
+
+  const auto* driver =
+      run->get("tool") ? run->get("tool")->get("driver") : nullptr;
+  EXPECT_TRUE(driver) << "runs[0].tool.driver missing";
+  if (!driver) return 0;
+  EXPECT_EQ(driver->get("name") ? driver->get("name")->str : "", tool_name);
+  const auto* rules = driver->get("rules");
+  EXPECT_TRUE(rules && rules->is(Kind::kArray) && !rules->array.empty());
+
+  const auto* results = run->get("results");
+  EXPECT_TRUE(results && results->is(Kind::kArray));
+  if (!results) return 0;
+  for (const auto& res : results->array) {
+    const auto* rule_id = res->get("ruleId");
+    EXPECT_TRUE(rule_id && rule_id->is(Kind::kString));
+    const auto* msg = res->get("message");
+    EXPECT_TRUE(msg && msg->get("text"));
+    const auto* locs = res->get("locations");
+    EXPECT_TRUE(locs && locs->is(Kind::kArray) && locs->array.size() == 1);
+    if (!locs || locs->array.empty()) continue;
+    const auto* phys = locs->at(0)->get("physicalLocation");
+    EXPECT_TRUE(phys && phys->get("artifactLocation") &&
+                phys->get("artifactLocation")->get("uri"));
+    EXPECT_TRUE(phys && phys->get("region") &&
+                phys->get("region")->get("startLine"));
+  }
+  return results->array.size();
+}
+
+// Counts the active (non-comment, non-blank) entries of an allowlist file.
+inline std::size_t count_allowlist_entries(const fs::path& p) {
+  std::ifstream is(p);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(is, line)) {
+    const std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace psml::selftest

@@ -26,6 +26,42 @@ std::optional<std::vector<std::string>> read_lines(const fs::path& p) {
   return lines;
 }
 
+namespace {
+
+// True when the '\'' at position `i` is a C++14 digit separator
+// (1'000'000, 0xFF'FF, 0b1010'0101) rather than the start of a char
+// literal: the preceding numeric-literal token must begin with a digit and
+// the next character must continue the literal.
+bool is_digit_separator(const std::string& line, std::size_t i) {
+  if (i == 0 || i + 1 >= line.size()) return false;
+  const auto literal_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '.';
+  };
+  if (!literal_char(line[i - 1]) || !literal_char(line[i + 1])) return false;
+  // Walk back over the literal body (digits, hex letters, '.', previous
+  // separators) to its first character.
+  std::size_t b = i - 1;
+  while (b > 0 && (literal_char(line[b - 1]) || line[b - 1] == '\'')) --b;
+  return std::isdigit(static_cast<unsigned char>(line[b]));
+}
+
+// If the token ending just before position `i` (exclusive) is a string
+// encoding prefix (u8, u, U, L) with no identifier characters before it,
+// returns its length; otherwise 0. Used so LR"(...)" / u8R"(...)" raw
+// strings and their prefixes don't desynchronize the stripper.
+std::size_t encoding_prefix_len(const std::string& line, std::size_t i) {
+  for (const char* p : {"u8", "u", "U", "L"}) {
+    const std::size_t n = std::char_traits<char>::length(p);
+    if (i >= n && line.compare(i - n, n, p) == 0 &&
+        (i == n || !ident_char(line[i - n - 1]))) {
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
 std::vector<std::string> strip_source(const std::vector<std::string>& lines) {
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
   State st = State::kCode;
@@ -48,9 +84,11 @@ std::vector<std::string> strip_source(const std::vector<std::string>& lines) {
             st = State::kBlockComment;
             ++i;
           } else if (c == 'R' && next == '"' &&
-                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                     line[i - 1])) &&
-                                 line[i - 1] != '_'))) {
+                     (i == 0 ||
+                      (!std::isalnum(
+                           static_cast<unsigned char>(line[i - 1])) &&
+                       line[i - 1] != '_') ||
+                      encoding_prefix_len(line, i) != 0)) {
             // Raw string literal R"delim( ... )delim"
             std::size_t p = i + 2;
             std::string delim;
@@ -63,8 +101,12 @@ std::vector<std::string> strip_source(const std::vector<std::string>& lines) {
             st = State::kString;
             clean[i] = '"';
           } else if (c == '\'') {
-            st = State::kChar;
-            clean[i] = '\'';
+            if (is_digit_separator(line, i)) {
+              clean[i] = '\'';  // numeric literal body, not a char literal
+            } else {
+              st = State::kChar;
+              clean[i] = '\'';
+            }
           } else {
             clean[i] = c;
           }
@@ -278,6 +320,13 @@ int report_and_finish(const ReportOptions& opts,
 
   std::printf("%s: %zu file(s), %zu violation(s), %zu allowlisted\n",
               opts.tool.c_str(), file_count, reported, suppressed);
+  if (!opts.allowlist_path.empty()) {
+    // Budget usage line for the CI job log: how much of the hard cap this
+    // tool's allowlist consumes (the cap is shared policy, per ROADMAP).
+    std::printf("%s: allowlist budget: %zu/%zu entries (%zu suppression(s) "
+                "matched)\n",
+                opts.tool.c_str(), allow.size(), kAllowlistBudget, suppressed);
+  }
   return (reported == 0 && !stale && allow_ok) ? 0 : 1;
 }
 

@@ -1,0 +1,752 @@
+// psml-ct — constant-time and implicit-flow analyzer for ParSecureML-Repro.
+//
+// Where psml-taint asks "does secret data reach a plaintext sink?", psml-ct
+// asks the side-channel question: "does secret data steer *execution*?" A
+// passive network observer only sees ciphertext-like masked shares, but a
+// co-resident attacker sees timing, and timing is shaped by branches, memory
+// access patterns, and variable-latency instructions. MPC's security
+// argument assumes the local computation on shares is data-oblivious; this
+// tool checks that assumption over the protocol code.
+//
+// Built on the shared whole-program model in tools/lint-common/model.*
+// (same stripping, same PSML_SECRET/PSML_PUBLIC seeds, same declassifier
+// semantics, same signature-keyed cross-TU summaries as psml-taint), plus a
+// lightweight per-function CFG: a region stack tracking which open
+// if/else/while/for/switch blocks are controlled by secret conditions.
+// Values written while a secret region is open pick up implicit taint
+// (kSecret|kImplicit) at the region's join — the classic implicit-flow rule,
+// done conservatively with a single environment (assignments under a branch
+// simply persist past the join).
+//
+// Rules:
+//   secret-branch     an if/while/for/switch/ternary condition is computed
+//                     from secret taint. The branch *direction* is then
+//                     observable through timing/trace; branch on opened
+//                     (reconstructed/declassified) values or use an
+//                     oblivious select instead.
+//   secret-index      a subscript, .at() call, or *(p + i) pointer
+//                     dereference indexes memory with a secret-derived
+//                     value; the access pattern leaks through the cache.
+//   variable-latency  '/', '%', an early-exit comparison (memcmp/strcmp
+//                     family), or a short-circuit &&/|| consumes a secret
+//                     operand. Division/modulo latency is operand-dependent
+//                     on most cores; short-circuit evaluation is a hidden
+//                     branch. A curated table of vetted constant-time ring
+//                     helpers (kCtSafeFns below) is exempt: wraparound
+//                     add/sub/matmul and shift-based fixed-point scaling
+//                     compile to branch-free straight-line code.
+//   non-ct-declassify a declassify()/reconstruct_* call observable under —
+//                     or applied to a value computed under — a secret
+//                     branch. Opening the value (or the act of communicating
+//                     at all) reveals which way the secret branch went, so
+//                     the declassification is wider than the annotation
+//                     claims. Declassify the branch condition itself first.
+//
+// Interprocedural: a function that branches on / indexes with / divides by
+// parameter i records a ct-bit for i in its summary; call sites feeding a
+// secret into that parameter are flagged, to a cross-TU fixpoint — same
+// machinery as psml-taint's sink_params, on the ct_params channel.
+//
+// Output: file:line diagnostics plus optional SARIF 2.1.0 (--sarif FILE).
+// Shares the justified-allowlist mechanism and the hard entry budget with
+// psml-lint/psml-taint. Heuristic (token-level, not a real C++ parser); see
+// docs/ANALYSIS.md §8 for the accuracy contract.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_common.hpp"
+#include "model.hpp"
+
+namespace fs = std::filesystem;
+using psml::lint::AllowEntry;
+using psml::lint::ident_char;
+using psml::lint::ident_ending_at;
+using psml::lint::ident_starting_at;
+using psml::lint::RuleInfo;
+using psml::lint::skip_spaces_back;
+using psml::lint::skip_spaces_fwd;
+using psml::lint::Violation;
+using namespace psml::lint::model;
+
+namespace {
+
+constexpr std::uint64_t kParamBits = (1ull << kMaxParams) - 1;
+
+// Vetted constant-time helpers: bodies are exempt from the rules and calls
+// never propagate ct-bits. Every entry must be justified in
+// docs/ANALYSIS.md §8.3 — the justification is part of the audit surface.
+//   ring_add/ring_sub      elementwise uint64 wraparound, branch-free loops
+//   ring_matmul            packed-panel GEMM over Z_2^64; fixed blocking,
+//                          no data-dependent control flow
+//   encode_fixed/decode_fixed  scale by the power-of-two constant 2^13;
+//                          int<->double conversion + constant multiply
+//   truncate_share         arithmetic shift by the constant kFracBits
+//   ring_scale_share       constant multiply + truncate_share
+const std::set<std::string>& ct_safe_fns() {
+  static const std::set<std::string> fns{
+      "ring_add",       "ring_sub",         "ring_matmul", "encode_fixed",
+      "decode_fixed",   "truncate_share",   "ring_scale_share"};
+  return fns;
+}
+
+const std::set<std::string>& early_exit_cmps() {
+  static const std::set<std::string> fns{"memcmp", "strcmp", "strncmp",
+                                         "strcasecmp", "bcmp"};
+  return fns;
+}
+
+// True when `text`, after leading spaces, starts with keyword `tok`.
+bool starts_with_tok(const std::string& text, const std::string& tok) {
+  const std::size_t b = skip_spaces_fwd(text, 0);
+  return text.compare(b, tok.size(), tok) == 0 &&
+         (b + tok.size() >= text.size() || !ident_char(text[b + tok.size()]));
+}
+
+// Splits on top-level ';' (the for-header clause separator).
+std::vector<std::string> split_semis(const std::string& s) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ';' && depth == 0) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  parts.push_back(s.substr(start));
+  return parts;
+}
+
+// Position just past the ']' matching the '[' at `open`, or npos.
+std::size_t match_bracket(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '[') ++depth;
+    if (s[i] == ']' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+// The operand expression ending just before position `op` (exclusive):
+// either a parenthesized span or an identifier chain with member/subscript
+// links. Empty when there is no plausible operand.
+std::string left_operand(const std::string& s, std::size_t op) {
+  if (op == 0) return {};
+  std::size_t i = skip_spaces_back(s, op - 1);
+  if (i == std::string::npos) return {};
+  const std::size_t end = i;
+  while (true) {
+    // Consume one component ending at i: a (...)/[...] span or an
+    // identifier; i lands on the component's first character.
+    if (s[i] == ')' || s[i] == ']') {
+      const char open_c = s[i] == ')' ? '(' : '[';
+      const char close_c = s[i];
+      int depth = 0;
+      while (true) {
+        if (s[i] == close_c) ++depth;
+        if (s[i] == open_c && --depth == 0) break;
+        if (i == 0) return {};
+        --i;
+      }
+    } else if (ident_char(s[i])) {
+      while (i > 0 && ident_char(s[i - 1])) --i;
+    } else {
+      return {};
+    }
+    if (i == 0) break;
+    // Chain left: a call/subscript head (`name(` / `name[`), or a member /
+    // scope link (a.b, a->b, a::b).
+    if ((s[i] == '(' || s[i] == '[') &&
+        (ident_char(s[i - 1]) || s[i - 1] == ')' || s[i - 1] == ']')) {
+      --i;
+      continue;
+    }
+    if (s[i - 1] == '.') {
+      if (i < 2) break;
+      i -= 2;
+      continue;
+    }
+    if (i >= 2 && s[i - 1] == ':' && s[i - 2] == ':') {
+      if (i < 3) break;
+      i -= 3;
+      continue;
+    }
+    if (i >= 2 && s[i - 1] == '>' && s[i - 2] == '-') {
+      if (i < 3) break;
+      i -= 3;
+      continue;
+    }
+    break;
+  }
+  return s.substr(i, end - i + 1);
+}
+
+// The operand expression starting at position `begin`: identifier chain
+// (with calls/subscripts/members) or parenthesized span.
+std::string right_operand(const std::string& s, std::size_t begin) {
+  std::size_t i = skip_spaces_fwd(s, begin);
+  while (i < s.size() && (s[i] == '!' || s[i] == '*' || s[i] == '&' ||
+                          s[i] == '-' || s[i] == '+' || s[i] == '~')) {
+    ++i;  // unary prefixes
+  }
+  const std::size_t start = i;
+  while (i < s.size()) {
+    if (s[i] == '(') {
+      const std::size_t e = match_paren(s, i);
+      if (e == std::string::npos) return s.substr(start);
+      i = e;
+    } else if (s[i] == '[') {
+      const std::size_t e = match_bracket(s, i);
+      if (e == std::string::npos) return s.substr(start);
+      i = e;
+    } else if (ident_char(s[i])) {
+      ++i;
+    } else if (s[i] == '.' || (s[i] == ':' && i + 1 < s.size() && s[i + 1] == ':')) {
+      i += s[i] == ':' ? 2 : 1;
+    } else if (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+      i += 2;
+    } else {
+      break;
+    }
+  }
+  return s.substr(start, i - start);
+}
+
+class CtAnalysis : public FlowAnalysis {
+ public:
+  CtAnalysis(const Function& fn, Model& model, std::vector<Violation>* sink)
+      : FlowAnalysis(fn, model), report_(sink),
+        vetted_(ct_safe_fns().count(fn.name) != 0) {}
+
+ private:
+  struct Region {
+    enum Kind { kIf, kElse, kLoop, kSwitch, kOther };
+    Kind kind = kOther;
+    std::uint64_t cond_taint = 0;
+  };
+
+  void violate(const std::string& rule, std::size_t line,
+               const std::string& msg) {
+    if (report_ && !vetted_) report_->push_back({fn_.file, line, rule, msg});
+  }
+
+  void record_ct_bits(std::uint64_t t, const std::string& rule,
+                      std::size_t line) {
+    if (vetted_) return;
+    for (int b = 0; b < kMaxParams; ++b) {
+      if (t & (1ull << b)) {
+        summary_.ct_params |= 1ull << b;
+        summary_.ct_info.emplace(b, std::make_pair(rule, where(line)));
+      }
+    }
+  }
+
+  // Evaluates a control condition. Reports secret-branch, records ct-bits
+  // for parameter-derived conditions, and returns the taint so the caller
+  // can mark the region it controls.
+  std::uint64_t check_condition(const std::string& cond, std::size_t line,
+                                const std::string& what) {
+    std::uint64_t t = expr_taint(cond);
+    if (t & kSecret) {
+      violate("secret-branch", line,
+              "secret '" + secret_witness(cond) + "' controls " + what +
+                  "; the branch direction is observable through timing — "
+                  "branch on an opened (reconstruct_*/declassify) value or "
+                  "use a data-oblivious select");
+    }
+    record_ct_bits(t, "secret-branch", line);
+    if (t & kSecret) t |= kImplicit;
+    return t;
+  }
+
+  std::uint64_t implicit_taint() const override {
+    std::uint64_t t = stmt_implicit_;
+    for (const Region& r : regions_) t |= r.cond_taint;
+    if (t & kSecret) t |= kImplicit;
+    return t;
+  }
+
+  // -- CFG region tracking ---------------------------------------------------
+
+  void on_block_open(const Stmt& s) override {
+    regions_.push_back(classify(s));
+  }
+
+  void on_block_close() override {
+    if (regions_.empty()) return;
+    const Region r = regions_.back();
+    regions_.pop_back();
+    if (r.kind == Region::kIf) last_if_taint_ = r.cond_taint;
+  }
+
+  Region classify(const Stmt& s) {
+    const std::string& t = s.text;
+    Region r;
+    if (starts_with_tok(t, "if") ||
+        (starts_with_tok(t, "else") && t.find("if") != std::string::npos &&
+         t.find('(') != std::string::npos)) {
+      r.kind = Region::kIf;
+      r.cond_taint = header_condition(t, s.line, "an if condition");
+    } else if (starts_with_tok(t, "else")) {
+      // An else branch is controlled by the same secret as its if: taking
+      // it reveals the condition was false.
+      r.kind = Region::kElse;
+      r.cond_taint = last_if_taint_;
+    } else if (starts_with_tok(t, "while")) {
+      r.kind = Region::kLoop;
+      r.cond_taint = header_condition(t, s.line, "a loop condition");
+    } else if (starts_with_tok(t, "switch")) {
+      r.kind = Region::kSwitch;
+      r.cond_taint = header_condition(t, s.line, "a switch condition");
+    } else if (starts_with_tok(t, "for")) {
+      r.kind = Region::kLoop;
+      r.cond_taint = for_condition(t, s.line);
+    } else {
+      r.kind = Region::kOther;  // plain block, lambda, do-body, try, ...
+    }
+    return r;
+  }
+
+  // Condition of an if/while/switch header, honoring C++17 init-statements
+  // (`if (auto v = f(); cond)` — the last ';'-clause is the condition).
+  std::uint64_t header_condition(const std::string& t, std::size_t line,
+                                 const std::string& what) {
+    const std::size_t open = t.find('(');
+    if (open == std::string::npos) return 0;
+    const std::size_t end = match_paren(t, open);
+    const std::size_t stop = end == std::string::npos ? t.size() : end - 1;
+    const auto clauses = split_semis(t.substr(open + 1, stop - open - 1));
+    return check_condition(clauses.back(), line, what);
+  }
+
+  // A for header contributes only its middle (condition) clause: iterating
+  // over a secret container (range-for) or stepping a secret value is not
+  // itself observable — the trip count is. Range-for has no condition.
+  std::uint64_t for_condition(const std::string& t, std::size_t line) {
+    const std::size_t open = t.find('(');
+    if (open == std::string::npos) return 0;
+    const std::size_t end = match_paren(t, open);
+    const std::size_t stop = end == std::string::npos ? t.size() : end - 1;
+    const std::string inner = t.substr(open + 1, stop - open - 1);
+    const auto clauses = split_semis(inner);
+    if (clauses.size() < 2) return 0;  // range-for or malformed
+    return check_condition(clauses[1], line, "a loop condition");
+  }
+
+  // -- per-statement rules ---------------------------------------------------
+
+  void on_stmt(const Stmt& s) override {
+    stmt_implicit_ = 0;
+    const std::string& t = s.text;
+
+    // Braceless control statements arrive as a single kNormal stmt
+    // ("if (c) x = 1"); the do-while trailer ("while (c)") too. Check the
+    // condition and make any trailing inline body pick up implicit taint.
+    if (s.kind == Stmt::kNormal) {
+      if (starts_with_tok(t, "if") ||
+          (starts_with_tok(t, "else") && t.find("if(") != std::string::npos) ||
+          (starts_with_tok(t, "else") && t.find("if (") != std::string::npos)) {
+        stmt_implicit_ = header_condition(t, s.line, "an if condition");
+      } else if (starts_with_tok(t, "while")) {
+        stmt_implicit_ = header_condition(t, s.line, "a loop condition");
+      } else if (starts_with_tok(t, "for")) {
+        stmt_implicit_ = for_condition(t, s.line);
+      } else if (starts_with_tok(t, "else")) {
+        stmt_implicit_ = last_if_taint_;
+      }
+    }
+
+    scan_ternary(s);
+    scan_indexing(s);
+    scan_variable_latency(s);
+    scan_declassify_under_branch(s);
+    scan_callee_ct(s);
+  }
+
+  // `cond ? a : b` — the selected arm is timing-visible like any branch.
+  void scan_ternary(const Stmt& s) {
+    const std::string t = blank_declassifiers(s.text);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i] != '?') continue;
+      if (i + 1 < t.size() && t[i + 1] == ':') continue;  // GNU ?: — skip arm
+      // The condition spans back to the nearest unmatched '(' or top-level
+      // '=' / ',' / start; strip a leading `return`.
+      std::size_t begin = 0;
+      int depth = 0;
+      for (std::size_t j = i; j > 0; --j) {
+        const char c = t[j - 1];
+        if (c == ')' || c == ']') ++depth;
+        if (c == '(' || c == '[') {
+          if (depth == 0) {
+            begin = j;
+            break;
+          }
+          --depth;
+        }
+        if (depth == 0 && (c == '=' || c == ',' || c == ';')) {
+          begin = j;
+          break;
+        }
+      }
+      std::string cond = trim(t.substr(begin, i - begin));
+      if (cond.compare(0, 6, "return") == 0 &&
+          (cond.size() == 6 || !ident_char(cond[6]))) {
+        cond = cond.substr(6);
+      }
+      if (trim(cond).empty()) continue;
+      const std::uint64_t ct = expr_taint(cond);
+      if (ct & kSecret) {
+        violate("secret-branch", s.line,
+                "secret '" + secret_witness(cond) +
+                    "' controls a ternary condition; the selected arm is "
+                    "observable through timing — select on opened data or "
+                    "compute both arms and blend");
+      }
+      record_ct_bits(ct, "secret-branch", s.line);
+    }
+  }
+
+  // Subscripts, .at(), and *(p + i) dereferences with secret-derived
+  // indices: the touched cache lines reveal the index.
+  void scan_indexing(const Stmt& s) {
+    const std::string t = blank_declassifiers(s.text);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i] != '[') continue;
+      // Subscript only: the '[' must follow a value (identifier, ')' or
+      // ']'), which excludes lambda captures and [[attributes]]. Structured
+      // bindings (`auto [a, b] = ...`) follow the keyword, not a value.
+      const std::size_t prev = skip_spaces_back(t, i == 0 ? 0 : i - 1);
+      if (i == 0 || prev == std::string::npos ||
+          !(ident_char(t[prev]) || t[prev] == ')' || t[prev] == ']')) {
+        continue;
+      }
+      if (ident_ending_at(t, prev) == "auto") continue;
+      const std::size_t end = match_bracket(t, i);
+      const std::size_t stop = end == std::string::npos ? t.size() : end - 1;
+      const std::string idx = t.substr(i + 1, stop - i - 1);
+      const std::uint64_t it = expr_taint(idx);
+      if (it & kSecret) {
+        violate("secret-index", s.line,
+                "secret '" + secret_witness(idx) +
+                    "' indexes memory; the access pattern leaks through the "
+                    "cache — index with public values or scan all entries "
+                    "obliviously");
+      }
+      record_ct_bits(it, "secret-index", s.line);
+    }
+    // .at( / ->at(
+    std::size_t pos = 0;
+    while ((pos = t.find("at", pos)) != std::string::npos) {
+      const std::size_t after = pos + 2;
+      const bool member =
+          pos > 0 && (t[pos - 1] == '.' ||
+                      (pos > 1 && t[pos - 2] == '-' && t[pos - 1] == '>'));
+      if (!member || (after < t.size() && ident_char(t[after]))) {
+        pos = after;
+        continue;
+      }
+      const std::size_t open = skip_spaces_fwd(t, after);
+      if (open < t.size() && t[open] == '(') {
+        const std::size_t end = match_paren(t, open);
+        const std::size_t stop = end == std::string::npos ? t.size() : end - 1;
+        const std::string idx = t.substr(open + 1, stop - open - 1);
+        const std::uint64_t it = expr_taint(idx);
+        if (it & kSecret) {
+          violate("secret-index", s.line,
+                  "secret '" + secret_witness(idx) +
+                      "' indexes memory via .at(); the access pattern leaks "
+                      "through the cache");
+        }
+        record_ct_bits(it, "secret-index", s.line);
+      }
+      pos = after;
+    }
+    // *(p + i): a '*' in dereference position (after '=', '(', ',', ';',
+    // '{', 'return', or at statement start) whose parenthesized operand does
+    // pointer arithmetic.
+    pos = 0;
+    while ((pos = t.find("*(", pos)) != std::string::npos) {
+      const std::size_t prev = skip_spaces_back(t, pos == 0 ? 0 : pos - 1);
+      const bool deref =
+          pos == 0 || prev == std::string::npos ||
+          (!ident_char(t[prev]) && t[prev] != ')' && t[prev] != ']') ||
+          ident_ending_at(t, prev) == "return";
+      if (!deref) {
+        pos += 2;
+        continue;
+      }
+      const std::size_t end = match_paren(t, pos + 1);
+      const std::size_t stop = end == std::string::npos ? t.size() : end - 1;
+      const std::string inner = t.substr(pos + 2, stop - pos - 2);
+      if (inner.find('+') != std::string::npos ||
+          inner.find('-') != std::string::npos) {
+        const std::uint64_t it = expr_taint(inner);
+        if (it & kSecret) {
+          violate("secret-index", s.line,
+                  "secret '" + secret_witness(inner) +
+                      "' feeds pointer arithmetic in a dereference; the "
+                      "access pattern leaks through the cache");
+        }
+        record_ct_bits(it, "secret-index", s.line);
+      }
+      pos += 2;
+    }
+  }
+
+  void check_operand_latency(const std::string& operand, std::size_t line,
+                             const std::string& what) {
+    if (trim(operand).empty()) return;
+    const std::uint64_t t = expr_taint(operand);
+    if (t & kSecret) {
+      violate("variable-latency", line,
+              "secret '" + secret_witness(operand) + "' feeds " + what +
+                  "; execution latency depends on the operand value — use "
+                  "the vetted constant-time ring helpers or mask first");
+    }
+    record_ct_bits(t, "variable-latency", line);
+  }
+
+  void scan_variable_latency(const Stmt& s) {
+    const std::string t = blank_declassifiers(s.text);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const char c = t[i];
+      if (c == '/' || c == '%') {
+        // Not operator declarations; '%' never survives in strings (the
+        // stripper blanked them).
+        const std::size_t prev = skip_spaces_back(t, i == 0 ? 0 : i - 1);
+        if (prev != std::string::npos &&
+            ident_ending_at(t, prev) == "operator") {
+          continue;
+        }
+        const std::string what = c == '/' ? "a division" : "a modulo";
+        check_operand_latency(left_operand(t, i), s.line, what);
+        check_operand_latency(
+            right_operand(t, i + (i + 1 < t.size() && t[i + 1] == '=' ? 2 : 1)),
+            s.line, what);
+      } else if ((c == '&' || c == '|') && i + 1 < t.size() &&
+                 t[i + 1] == c) {
+        const std::string left = left_operand(t, i);
+        // `Type&& x` rvalue-reference declarations: the "operand" is a type
+        // name, not a value.
+        const std::string lroot = root_ident(left);
+        if (c == '&' && (model_.secret_types.count(lroot) ||
+                         model_.secret_types.count(last_ident(left)))) {
+          ++i;
+          continue;
+        }
+        const std::string what =
+            "a short-circuit '" + std::string(2, c) + "' (a hidden branch)";
+        check_operand_latency(left, s.line, what);
+        check_operand_latency(right_operand(t, i + 2), s.line, what);
+        ++i;
+      }
+    }
+    // Early-exit comparisons: latency reveals the first differing byte.
+    for (const std::string& name : early_exit_cmps()) {
+      std::size_t pos = 0;
+      while ((pos = t.find(name, pos)) != std::string::npos) {
+        const std::size_t after = pos + name.size();
+        if ((pos > 0 && ident_char(t[pos - 1])) ||
+            (after < t.size() && ident_char(t[after]))) {
+          pos = after;
+          continue;
+        }
+        const std::size_t open = skip_spaces_fwd(t, after);
+        if (open < t.size() && t[open] == '(') {
+          const std::size_t end = match_paren(t, open);
+          const std::size_t stop = end == std::string::npos ? t.size() : end - 1;
+          for (const std::string& a :
+               split_args(t.substr(open + 1, stop - open - 1))) {
+            check_operand_latency(
+                a, s.line, "'" + name + "' (an early-exit comparison)");
+          }
+        }
+        pos = after;
+      }
+    }
+  }
+
+  // declassify()/reconstruct_* under a secret branch, or applied to a value
+  // that only became interesting under one: the call's observable effect
+  // (timing, communication, the opened value itself) reveals the branch.
+  void scan_declassify_under_branch(const Stmt& s) {
+    const std::string& t = s.text;
+    for (const std::string& d : declassifier_fns()) {
+      std::size_t pos = 0;
+      while ((pos = t.find(d, pos)) != std::string::npos) {
+        const std::size_t after = pos + d.size();
+        if ((pos > 0 && ident_char(t[pos - 1])) ||
+            (after < t.size() && ident_char(t[after]))) {
+          pos = after;
+          continue;
+        }
+        const std::size_t open = skip_spaces_fwd(t, after);
+        if (open >= t.size() || t[open] != '(') {
+          pos = after;
+          continue;
+        }
+        const std::size_t end = match_paren(t, open);
+        const std::size_t stop = end == std::string::npos ? t.size() : end - 1;
+        const std::string inner = t.substr(open + 1, stop - open - 1);
+        const std::uint64_t it =
+            expr_taint(inner) | implicit_taint() | stmt_implicit_;
+        if (it & kImplicit) {
+          violate("non-ct-declassify", s.line,
+                  "'" + d +
+                      "' under secret-dependent control flow: the opened "
+                      "value (and the act of opening) reveals the branch "
+                      "condition — declassify the condition itself, or hoist "
+                      "the opening out of the branch");
+        }
+        pos = end == std::string::npos ? t.size() : end;
+      }
+    }
+  }
+
+  // Interprocedural: a secret argument feeding a parameter the callee
+  // branches on / indexes with / divides by.
+  void scan_callee_ct(const Stmt& s) {
+    const std::string& t = s.text;
+    std::size_t i = 0;
+    while (i < t.size()) {
+      if (!ident_char(t[i]) || (t[i] >= '0' && t[i] <= '9')) {
+        ++i;
+        continue;
+      }
+      const std::string name = ident_starting_at(t, i);
+      const std::size_t open = skip_spaces_fwd(t, i + name.size());
+      if (open < t.size() && t[open] == '(' && !keywords().count(name) &&
+          !ct_safe_fns().count(name) && !declassifier_fns().count(name)) {
+        const std::size_t end = match_paren(t, open);
+        const std::size_t stop = end == std::string::npos ? t.size() : end - 1;
+        const std::string args_text = t.substr(open + 1, stop - open - 1);
+        const auto args = split_args(args_text);
+        const auto sum = call_summary(name, args_text);
+        if (sum && sum->ct_params != 0) {
+          for (const auto& [idx, info] : sum->ct_info) {
+            if (idx >= static_cast<int>(args.size())) continue;
+            const std::uint64_t at =
+                expr_taint(args[static_cast<size_t>(idx)]);
+            if (at & kSecret) {
+              violate(info.first, s.line,
+                      "secret '" +
+                          secret_witness(args[static_cast<size_t>(idx)]) +
+                          "' flows into '" + name + "' (" + info.second +
+                          "), which uses it in a non-constant-time "
+                          "construct; open or mask the value before the "
+                          "call, or vet the callee and add it to the "
+                          "constant-time table");
+            }
+            record_ct_bits(at, info.first, s.line);
+          }
+        }
+      }
+      i += name.size();
+    }
+  }
+
+  std::vector<Violation>* report_;
+  const bool vetted_;
+  std::vector<Region> regions_;
+  std::uint64_t last_if_taint_ = 0;
+  std::uint64_t stmt_implicit_ = 0;
+};
+
+// ---- rule metadata ----------------------------------------------------------
+
+const std::vector<RuleInfo> kRules{
+    {"secret-branch",
+     "A branch/loop/switch/ternary condition is computed from secret data; "
+     "the branch direction is observable through timing"},
+    {"secret-index",
+     "Memory is indexed with a secret-derived value; the access pattern "
+     "leaks through the cache"},
+    {"variable-latency",
+     "A division, modulo, early-exit comparison, or short-circuit operator "
+     "consumes a secret operand; latency depends on the value"},
+    {"non-ct-declassify",
+     "A declassify/reconstruct call is control-dependent on a secret branch, "
+     "widening the declassification to the branch condition"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  psml::lint::ReportOptions ropts;
+  ropts.tool = "psml-ct";
+  fs::path allowlist_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psml-ct: --allowlist needs a file\n");
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psml-ct: --sarif needs a file\n");
+        return 2;
+      }
+      ropts.sarif_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: psml-ct [--allowlist FILE] [--sarif FILE] DIR-OR-FILE...\n");
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "psml-ct: no inputs (try --help)\n");
+    return 2;
+  }
+
+  bool allow_ok = true;
+  std::vector<AllowEntry> allow;
+  if (!allowlist_path.empty()) {
+    allow = psml::lint::read_allowlist(allowlist_path, "psml-ct", allow_ok);
+    ropts.allowlist_path = allowlist_path;
+  }
+
+  const auto files = psml::lint::collect_inputs(roots, "psml-ct");
+  if (!files) return 2;
+
+  auto prog = load_program(*files, "psml-ct");
+  if (!prog) return 2;
+
+  solve_summaries(*prog, [](const Function& fn, Model& model) {
+    return CtAnalysis(fn, model, nullptr).run();
+  });
+
+  std::vector<Violation> violations;
+  for (const Function& fn : prog->functions) {
+    CtAnalysis(fn, prog->model, &violations).run();
+  }
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  violations.erase(std::unique(violations.begin(), violations.end(),
+                               [](const Violation& a, const Violation& b) {
+                                 return a.file == b.file && a.line == b.line &&
+                                        a.rule == b.rule;
+                               }),
+                   violations.end());
+
+  return psml::lint::report_and_finish(ropts, kRules, violations, allow,
+                                       allow_ok, files->size());
+}
